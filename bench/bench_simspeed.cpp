@@ -1,0 +1,109 @@
+// Simulator micro-benchmarks (google-benchmark): SoC cycle throughput in the
+// regimes the experiments exercise, netlist evaluation, and the end-to-end
+// wrapped-routine build. Not a paper exhibit; tracks the harness itself.
+
+#include <benchmark/benchmark.h>
+
+#include "core/routines.h"
+#include "core/wrapper.h"
+#include "exp/experiments.h"
+#include "netlist/adapters.h"
+
+namespace {
+
+using namespace detstl;
+
+core::BuiltTest build_test(unsigned core_id, core::WrapperKind w) {
+  core::BuildEnv env;
+  env.core_id = core_id;
+  env.kind = static_cast<isa::CoreKind>(core_id);
+  env.code_base = mem::kFlashBase + 0x2000 + core_id * 0x40000;
+  env.data_base = core::default_data_base(core_id);
+  const auto routine = core::make_fwd_test(false);
+  return core::build_wrapped(*routine, w, env);
+}
+
+void BM_SocCycles_SingleCoreCached(benchmark::State& state) {
+  const auto bt = build_test(0, core::WrapperKind::kCacheBased);
+  for (auto _ : state) {
+    soc::Soc s;
+    s.load_program(bt.prog);
+    s.set_boot(0, bt.prog.entry());
+    s.reset();
+    const auto res = s.run(10'000'000);
+    state.SetItemsProcessed(state.items_processed() + static_cast<long>(res.cycles));
+  }
+}
+BENCHMARK(BM_SocCycles_SingleCoreCached)->Unit(benchmark::kMillisecond);
+
+void BM_SocCycles_TripleCoreContended(benchmark::State& state) {
+  std::vector<core::BuiltTest> tests;
+  for (unsigned c = 0; c < 3; ++c) tests.push_back(build_test(c, core::WrapperKind::kPlain));
+  for (auto _ : state) {
+    soc::Soc s;
+    for (const auto& t : tests) {
+      s.load_program(t.prog);
+      s.set_boot(t.env.core_id, t.prog.entry());
+    }
+    s.reset();
+    const auto res = s.run(20'000'000);
+    state.SetItemsProcessed(state.items_processed() + static_cast<long>(res.cycles));
+  }
+}
+BENCHMARK(BM_SocCycles_TripleCoreContended)->Unit(benchmark::kMillisecond);
+
+void BM_NetlistEval_Fwd64Lane(benchmark::State& state) {
+  const netlist::FwdNetlist mod(isa::CoreKind::kC);
+  auto st = mod.nl().make_state();
+  cpu::FwdIn in;
+  in.port[0].rf = 0x1234'5678'9abc'def0ull;
+  in.port[0].sel = cpu::FwdSel::kExMem0;
+  mod.encode(in, st);
+  for (auto _ : state) {
+    mod.nl().eval(st);
+    benchmark::DoNotOptimize(st.value.data());
+    state.SetItemsProcessed(state.items_processed() + 1);
+  }
+}
+BENCHMARK(BM_NetlistEval_Fwd64Lane);
+
+void BM_NetlistEval_Hdcu(benchmark::State& state) {
+  const netlist::HdcuNetlist mod(isa::CoreKind::kA);
+  auto st = mod.nl().make_state();
+  cpu::HdcuIn in;
+  in.cons[0] = {.rs = 5, .used = true};
+  in.prod[0] = {.rd = 5, .writes = true};
+  mod.encode(in, st);
+  for (auto _ : state) {
+    mod.nl().eval(st);
+    benchmark::DoNotOptimize(st.value.data());
+    state.SetItemsProcessed(state.items_processed() + 1);
+  }
+}
+BENCHMARK(BM_NetlistEval_Hdcu);
+
+void BM_BuildWrappedRoutine(benchmark::State& state) {
+  for (auto _ : state) {
+    auto bt = build_test(0, core::WrapperKind::kCacheBased);
+    benchmark::DoNotOptimize(bt.golden);
+  }
+}
+BENCHMARK(BM_BuildWrappedRoutine)->Unit(benchmark::kMillisecond);
+
+void BM_SocCheckpointCopy(benchmark::State& state) {
+  const auto bt = build_test(0, core::WrapperKind::kCacheBased);
+  soc::Soc s;
+  s.load_program(bt.prog);
+  s.set_boot(0, bt.prog.entry());
+  s.reset();
+  for (int i = 0; i < 1000; ++i) s.tick();
+  for (auto _ : state) {
+    soc::Soc copy = s;
+    benchmark::DoNotOptimize(copy.now());
+  }
+}
+BENCHMARK(BM_SocCheckpointCopy)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Table II reproduction: forwarding-logic stuck-at fault coverage of the
+// [19]-style routine with the performance counters removed.
+//   * multi-core, no caches: coverage oscillates across execution scenarios
+//     (active cores x flash position x alignment) -> min/max columns;
+//   * the proposed cache-based strategy: a single, stable, higher value.
+//
+// Environment knobs: DETSTL_FAULT_STRIDE (default 6: every 6th collapsed
+// fault; 1 = exhaustive), DETSTL_SCENARIOS (default 0 = full 12-scenario
+// grid).
+
+#include "bench_util.h"
+#include "exp/experiments.h"
+
+int main() {
+  using namespace detstl;
+  bench::print_header(
+      "Table II (forwarding-logic fault simulation, no PCs)",
+      "A: 53,298 faults, 64.14-75.19% no-cache, 79.61% cached; "
+      "B: 57,506, 63.61-79.59%, 82.08%; C: 113,212, 56.24-66.48%, 68.79%");
+
+  const unsigned stride = bench::env_unsigned("DETSTL_FAULT_STRIDE", 6);
+  const unsigned scenarios = bench::env_unsigned("DETSTL_SCENARIOS", 0);
+  const auto rows = exp::run_table2(stride, scenarios);
+
+  TextTable t("Forwarding-logic fault simulation results (stride " +
+              std::to_string(stride) + ")");
+  t.header({"Core", "# of Faults", "min-max FC [%] no caches / no PCs",
+            "FC [%] with caches / no PCs", "cached FC stable"});
+  for (const auto& r : rows) {
+    t.row({std::string(1, r.core), TextTable::fmt_int(static_cast<long long>(r.faults)),
+           TextTable::fmt_fixed(r.fc_min, 2) + " - " + TextTable::fmt_fixed(r.fc_max, 2),
+           TextTable::fmt_fixed(r.fc_cached, 2), r.cached_stable ? "yes" : "NO"});
+  }
+  t.print();
+
+  bool shape_ok = true;
+  for (const auto& r : rows) {
+    shape_ok &= r.fc_min < r.fc_max;          // no-cache FC oscillates
+    shape_ok &= r.fc_cached > r.fc_max;       // cache-based exceeds the best
+    shape_ok &= r.cached_stable;              // and is scenario-invariant
+  }
+  // Core C: 64-bit muxes vs 32-bit signature -> lower coverage than A/B.
+  shape_ok &= rows[2].fc_cached < rows[0].fc_cached &&
+              rows[2].fc_cached < rows[1].fc_cached;
+  std::printf("\nshape check (oscillation, cached max+stable, core C lower): %s\n",
+              shape_ok ? "OK" : "MISMATCH");
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,28 @@
+#pragma once
+// Shared helpers for the table-reproduction binaries.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/table.h"
+
+namespace detstl::bench {
+
+/// Environment-variable override with default (fault-sampling stride etc.).
+inline unsigned env_unsigned(const char* name, unsigned def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  return static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+}
+
+inline void print_header(const char* exhibit, const char* paper_numbers) {
+  std::printf("==============================================================\n");
+  std::printf("Reproduction of %s\n", exhibit);
+  std::printf("Paper reference values: %s\n", paper_numbers);
+  std::printf("(absolute values differ — simulated SoC and scaled fault\n");
+  std::printf(" lists; the reproduced quantity is the SHAPE, see DESIGN.md)\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace detstl::bench

@@ -1,0 +1,69 @@
+#pragma once
+// Bit-manipulation helpers shared across the simulator and the netlist engine.
+
+#include <cstdint>
+#include <type_traits>
+
+namespace detstl {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/// Extract bits [hi:lo] of `v` (inclusive), right-aligned.
+constexpr u32 bits(u32 v, unsigned hi, unsigned lo) {
+  const unsigned width = hi - lo + 1;
+  const u32 mask = width >= 32 ? ~0u : ((1u << width) - 1u);
+  return (v >> lo) & mask;
+}
+
+/// Extract a single bit of `v`.
+constexpr u32 bit(u32 v, unsigned pos) { return (v >> pos) & 1u; }
+
+/// Sign-extend the low `width` bits of `v` to 32 bits.
+constexpr i32 sext(u32 v, unsigned width) {
+  const u32 m = 1u << (width - 1);
+  const u32 masked = width >= 32 ? v : (v & ((1u << width) - 1u));
+  return static_cast<i32>((masked ^ m) - m);
+}
+
+/// A value with exactly the low `width` bits of `v`.
+constexpr u32 zext(u32 v, unsigned width) {
+  return width >= 32 ? v : (v & ((1u << width) - 1u));
+}
+
+/// True when `v` fits in a signed `width`-bit immediate.
+constexpr bool fits_signed(i64 v, unsigned width) {
+  const i64 lo = -(i64{1} << (width - 1));
+  const i64 hi = (i64{1} << (width - 1)) - 1;
+  return v >= lo && v <= hi;
+}
+
+/// True when `v` fits in an unsigned `width`-bit immediate.
+constexpr bool fits_unsigned(u64 v, unsigned width) {
+  return width >= 64 || v < (u64{1} << width);
+}
+
+/// Align `v` down to a multiple of `a` (power of two).
+constexpr u32 align_down(u32 v, u32 a) { return v & ~(a - 1u); }
+
+/// Align `v` up to a multiple of `a` (power of two).
+constexpr u32 align_up(u32 v, u32 a) { return (v + a - 1u) & ~(a - 1u); }
+
+constexpr bool is_pow2(u32 v) { return v != 0 && (v & (v - 1)) == 0; }
+
+constexpr unsigned log2u(u32 v) {
+  unsigned r = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+}  // namespace detstl

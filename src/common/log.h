@@ -1,0 +1,51 @@
+#pragma once
+// Minimal leveled logger. The simulator is a library, so logging is off by
+// default and routed through a single sink that tools can redirect.
+
+#include <sstream>
+#include <string>
+
+namespace detstl {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one formatted line (implementation adds level prefix and newline).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() {
+    if (active()) log_line(level_, os_.str());
+  }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  bool active() const { return level_ >= log_level(); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    if (active()) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+#define DETSTL_LOG(level) ::detstl::detail::LogStream(level)
+#define DETSTL_DEBUG DETSTL_LOG(::detstl::LogLevel::kDebug)
+#define DETSTL_INFO DETSTL_LOG(::detstl::LogLevel::kInfo)
+#define DETSTL_WARN DETSTL_LOG(::detstl::LogLevel::kWarn)
+#define DETSTL_ERROR DETSTL_LOG(::detstl::LogLevel::kError)
+
+}  // namespace detstl

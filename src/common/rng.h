@@ -1,0 +1,56 @@
+#pragma once
+// Deterministic pseudo-random number generator (xoshiro256**) used everywhere a
+// randomised-but-reproducible choice is needed (property tests, netlist
+// instantiation seeds, scenario staggering). std::mt19937 is avoided so that the
+// streams are identical across standard-library implementations.
+
+#include <cstdint>
+
+#include "common/bitutil.h"
+
+namespace detstl {
+
+class Rng {
+ public:
+  explicit Rng(u64 seed = 0x9e3779b97f4a7c15ull) {
+    // splitmix64 expansion of the seed into the 4-word state.
+    u64 x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      u64 z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  u64 next_u64() {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  u32 next_u32() { return static_cast<u32>(next_u64() >> 32); }
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  u64 below(u64 bound) { return next_u64() % bound; }
+
+  /// Uniform value in [lo, hi] inclusive.
+  u64 range(u64 lo, u64 hi) { return lo + below(hi - lo + 1); }
+
+  bool chance(double p) {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53 < p;
+  }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+  u64 state_[4];
+};
+
+}  // namespace detstl

@@ -1,0 +1,97 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace detstl {
+
+TextTable& TextTable::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+  return *this;
+}
+
+TextTable& TextTable::row(std::vector<std::string> cells) {
+  rows_.push_back(Line{false, std::move(cells)});
+  return *this;
+}
+
+TextTable& TextTable::separator() {
+  rows_.push_back(Line{true, {}});
+  return *this;
+}
+
+std::string TextTable::fmt_int(long long v) {
+  const bool neg = v < 0;
+  unsigned long long mag = neg ? static_cast<unsigned long long>(-(v + 1)) + 1 : static_cast<unsigned long long>(v);
+  std::string digits = std::to_string(mag);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (neg) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string TextTable::fmt_fixed(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+std::string TextTable::fmt_hex(unsigned long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%08llx", v);
+  return buf;
+}
+
+std::string TextTable::str() const {
+  // Column widths from header + all rows.
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+  std::vector<std::size_t> w(ncols, 0);
+  auto grow = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) w[i] = std::max(w[i], cells[i].size());
+  };
+  grow(header_);
+  for (const auto& r : rows_)
+    if (!r.is_sep) grow(r.cells);
+
+  std::ostringstream os;
+  auto hline = [&] {
+    os << '+';
+    for (auto width : w) os << std::string(width + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      os << ' ' << c << std::string(w[i] - c.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  hline();
+  if (!header_.empty()) {
+    emit(header_);
+    hline();
+  }
+  for (const auto& r : rows_) {
+    if (r.is_sep)
+      hline();
+    else
+      emit(r.cells);
+  }
+  hline();
+  return os.str();
+}
+
+void TextTable::print() const { std::fputs(str().c_str(), stdout); }
+
+}  // namespace detstl

@@ -1,0 +1,40 @@
+#pragma once
+// Plain-text table printer used by the benchmark harness to render the paper's
+// tables with aligned columns.
+
+#include <string>
+#include <vector>
+
+namespace detstl {
+
+class TextTable {
+ public:
+  /// Starts a table; `title` is printed above the header.
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  TextTable& header(std::vector<std::string> cells);
+  TextTable& row(std::vector<std::string> cells);
+  /// Inserts a horizontal separator between the rows added before/after.
+  TextTable& separator();
+
+  /// Render with box-drawing separators.
+  std::string str() const;
+
+  /// Convenience: render and write to stdout.
+  void print() const;
+
+  static std::string fmt_int(long long v);          // thousands separators
+  static std::string fmt_fixed(double v, int prec); // fixed-point
+  static std::string fmt_hex(unsigned long long v); // 0x%08x style
+
+ private:
+  struct Line {
+    bool is_sep = false;
+    std::vector<std::string> cells;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Line> rows_;
+};
+
+}  // namespace detstl

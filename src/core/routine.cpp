@@ -1,0 +1,39 @@
+#include "core/routine.h"
+
+namespace detstl::core {
+
+using namespace isa;
+
+void emit_misr_acc(Assembler& a, Reg value) {
+  // r29 = rotl(r29, 1) ^ value, using only r26 as scratch (value may be r27).
+  a.slli(R26, R29, 1);
+  a.srli(R29, R29, 31);
+  a.or_(R29, R26, R29);
+  a.xor_(R29, R29, value);
+}
+
+void emit_misr_acc_isr(Assembler& a, Reg value) {
+  // r28 = rotl(r28, 1) ^ value, using only r27 as scratch (value may be r26).
+  a.slli(R27, R28, 1);
+  a.srli(R28, R28, 31);
+  a.or_(R28, R27, R28);
+  a.xor_(R28, R28, value);
+}
+
+void emit_icu_isr(Assembler& a) {
+  a.csrr(R26, Csr::kMcause);
+  emit_misr_acc_isr(a, R26);
+  a.csrr(R26, Csr::kMepc);
+  a.csrr(R27, Csr::kMfpc);
+  a.sub(R26, R26, R27);  // recognition distance in bytes
+  emit_misr_acc_isr(a, R26);
+  a.eret();
+}
+
+void emit_store_word(Assembler& a, const RoutineEnv& env, Reg data, Reg base,
+                     i32 offset) {
+  a.sw(data, base, offset);
+  if (env.dummy_load_after_store) a.lw(R27, base, offset);
+}
+
+}  // namespace detstl::core

@@ -1,0 +1,80 @@
+#pragma once
+// Self-test routine abstraction.
+//
+// A routine contributes only its *body*: the instruction sequence that
+// excites the target module and folds observed values into the signature
+// register. Execution structure (plain / cache-based loading+execution loop /
+// TCM copy) is added by the wrapper builder (wrapper.h), matching the
+// paper's Fig. 2 decomposition.
+//
+// Register conventions (bodies must respect them):
+//   r29  signature (MISR)
+//   r30  wrapper loop counter
+//   r28  ISR accumulator      (ICU tests)
+//   r26, r27  MISR/ISR scratch
+//   r24  mailbox pointer, r25 data-base pointer (wrapper-owned)
+//   r22, r21  performance-counter snapshots (wrapper-owned)
+//   r31  link register (suite mode)
+// Bodies therefore compute in r1..r20 and must not branch on data except
+// under fault (paper Sec. III rule 2.1).
+
+#include <string>
+
+#include "isa/assembler.h"
+#include "isa/events.h"
+
+namespace detstl::core {
+
+struct RoutineEnv {
+  isa::CoreKind kind = isa::CoreKind::kA;
+  u32 data_base = 0;       // cacheable SRAM scratch area for the routine
+  bool use_perf_counters = false;
+  /// No-write-allocate fix-up (paper Sec. III step 1): follow each store with
+  /// a dummy load of the same address so the line is allocated during the
+  /// loading loop.
+  bool dummy_load_after_store = false;
+  /// Pattern depth: how many data patterns each excitation case applies.
+  unsigned patterns = 4;
+};
+
+class SelfTestRoutine {
+ public:
+  virtual ~SelfTestRoutine() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Emit the test body once. `lbl` is a unique label prefix (the body must
+  /// prefix all its labels with it so routines can be combined).
+  virtual void emit_body(isa::Assembler& a, const RoutineEnv& env,
+                         const std::string& lbl) const = 0;
+
+  /// ICU-style routines need the trap vector + interrupt-enable setup and an
+  /// ISR block emitted alongside the body.
+  virtual bool needs_isr() const { return false; }
+
+  /// Routines whose algorithm folds the performance counters into the
+  /// signature (e.g. the full [19] HDCU test). The wrapper honours this in
+  /// addition to BuildEnv::use_perf_counters.
+  virtual bool wants_perf_counters() const { return false; }
+
+  /// Bytes of scratch data the body uses at env.data_base.
+  virtual u32 data_bytes() const { return 64; }
+};
+
+// --- shared emission helpers ----------------------------------------------------
+
+/// Fold `value` into the signature r29 (clobbers r26/r27).
+void emit_misr_acc(isa::Assembler& a, isa::Reg value);
+
+/// Fold `value` into the ISR accumulator r28 (clobbers r26/r27).
+void emit_misr_acc_isr(isa::Assembler& a, isa::Reg value);
+
+/// The standard ISR for imprecise-interrupt tests: folds MCAUSE and the
+/// recognition distance (MEPC - MFPC) into r28, then returns.
+void emit_icu_isr(isa::Assembler& a);
+
+/// Store with the optional no-write-allocate dummy-load fix-up.
+void emit_store_word(isa::Assembler& a, const RoutineEnv& env, isa::Reg data,
+                     isa::Reg base, i32 offset);
+
+}  // namespace detstl::core

@@ -1,0 +1,40 @@
+#pragma once
+// Factory functions for the Software Test Library routines.
+
+#include <memory>
+#include <vector>
+
+#include "core/routine.h"
+
+namespace detstl::core {
+
+/// Forwarding-logic / HDCU test per [19]. `with_perf_counters` folds the
+/// HDCU stall + split counter deltas into the signature (the full algorithm
+/// graded in Table III); without, the value-only variant of Table II.
+std::unique_ptr<SelfTestRoutine> make_fwd_test(bool with_perf_counters);
+
+/// Synchronous imprecise interrupt (ICU) test per [21]: raises each event
+/// source under varying pipeline-fill patterns; the ISR folds cause bits and
+/// the recognition distance into the signature.
+std::unique_ptr<SelfTestRoutine> make_icu_test();
+
+/// Generic boot-time STL routines (the Table I workload).
+std::unique_ptr<SelfTestRoutine> make_alu_test();
+std::unique_ptr<SelfTestRoutine> make_rf_march_test();
+std::unique_ptr<SelfTestRoutine> make_shifter_test();
+std::unique_ptr<SelfTestRoutine> make_branch_test();
+std::unique_ptr<SelfTestRoutine> make_muldiv_test();
+
+/// The boot-time STL of a core (paper Sec. IV-B: the library without the two
+/// module-targeted programs).
+std::vector<std::unique_ptr<SelfTestRoutine>> make_boot_stl();
+
+/// A routine whose body is assembly text (isa/asmparser.h fragment syntax).
+/// The body must follow the register conventions of routine.h; labels are
+/// auto-prefixed so several text routines compose in one program.
+std::unique_ptr<SelfTestRoutine> make_text_routine(std::string name,
+                                                   std::string body_source,
+                                                   bool needs_isr = false,
+                                                   u32 data_bytes = 64);
+
+}  // namespace detstl::core

@@ -1,0 +1,275 @@
+// Generic boot-time STL routines: ALU, register file, shifter, branch unit,
+// multiplier/divider. Together they form the library measured in Table I
+// (the STL "without the two module-targeted programs"). Each follows the
+// classic SBST pattern [8]: apply patterns, accumulate every observable
+// result into the signature.
+
+#include "core/routines.h"
+#include "core/signature.h"
+
+namespace detstl::core {
+
+using namespace isa;
+
+namespace {
+
+constexpr u32 kPats[4] = {0xaaaaaaaa, 0x55555555, 0xff00ff00, 0x0000ffff};
+
+// -----------------------------------------------------------------------------
+// ALU: all R-type/I-type integer ops over complementary patterns, plus
+// store/load round-trips through the data scratch area.
+// -----------------------------------------------------------------------------
+
+class AluTest final : public SelfTestRoutine {
+ public:
+  std::string name() const override { return "alu"; }
+
+  void emit_body(Assembler& a, const RoutineEnv& env,
+                 const std::string&) const override {
+    const unsigned npat = std::min<unsigned>(env.patterns, 4);
+    for (unsigned p = 0; p < npat; ++p) {
+      a.li(R1, kPats[p]);
+      a.li(R2, ~kPats[p]);
+      a.li(R3, kPats[p] ^ 0x13571357);
+
+      a.add(R4, R1, R2);
+      emit_misr_acc(a, R4);
+      a.sub(R4, R1, R2);
+      emit_misr_acc(a, R4);
+      a.and_(R4, R1, R3);
+      emit_misr_acc(a, R4);
+      a.or_(R4, R1, R3);
+      emit_misr_acc(a, R4);
+      a.xor_(R4, R2, R3);
+      emit_misr_acc(a, R4);
+      a.nor_(R4, R1, R3);
+      emit_misr_acc(a, R4);
+      a.slt(R4, R1, R2);
+      emit_misr_acc(a, R4);
+      a.sltu(R4, R1, R2);
+      emit_misr_acc(a, R4);
+      a.addi(R4, R1, 0x123);
+      emit_misr_acc(a, R4);
+      a.andi(R4, R1, 0xf0f0);
+      emit_misr_acc(a, R4);
+      a.ori(R4, R2, 0x0f0f);
+      emit_misr_acc(a, R4);
+      a.xori(R4, R3, 0xa5a5);
+      emit_misr_acc(a, R4);
+
+      // Data-path round trip (allocates the D$ line in the loading loop).
+      emit_store_word(a, env, R4, R25, static_cast<i32>(4 * p));
+      a.lw(R5, R25, static_cast<i32>(4 * p));
+      emit_misr_acc(a, R5);
+    }
+
+    if (core_has_r64(env.kind)) {
+      a.li(R2, kPats[0]);
+      a.li(R3, kPats[1]);
+      a.li(R4, ~kPats[0]);
+      a.li(R5, ~kPats[1]);
+      a.add64(R6, R2, R4);
+      emit_misr_acc(a, R6);
+      emit_misr_acc(a, R7);
+      a.sub64(R6, R2, R4);
+      emit_misr_acc(a, R6);
+      a.xor64(R6, R2, R4);
+      emit_misr_acc(a, R7);
+      a.and64(R6, R2, R4);
+      emit_misr_acc(a, R6);
+      a.or64(R6, R2, R4);
+      emit_misr_acc(a, R7);
+    }
+  }
+};
+
+// -----------------------------------------------------------------------------
+// Register file: march-style — ascending writes of a base pattern, ascending
+// read-back, then the complement. r21..r31 are harness-reserved, so the march
+// covers r1..r20.
+// -----------------------------------------------------------------------------
+
+class RfMarchTest final : public SelfTestRoutine {
+ public:
+  std::string name() const override { return "rf-march"; }
+
+  void emit_body(Assembler& a, const RoutineEnv& env,
+                 const std::string&) const override {
+    const unsigned npat = std::min<unsigned>(env.patterns, 2);
+    for (unsigned p = 0; p < npat; ++p) {
+      const u32 base = p == 0 ? 0xaaaa5555u : 0x5555aaaau;
+      // Ascending write: each register gets pattern ^ index.
+      for (unsigned r = 1; r <= 20; ++r)
+        a.li(static_cast<Reg>(r), base ^ (r * 0x01010101u));
+      // Ascending read-back.
+      for (unsigned r = 1; r <= 20; ++r) emit_misr_acc(a, static_cast<Reg>(r));
+      // Descending write of the complement, descending read-back.
+      for (unsigned r = 20; r >= 1; --r)
+        a.li(static_cast<Reg>(r), ~(base ^ (r * 0x01010101u)));
+      for (unsigned r = 20; r >= 1; --r) emit_misr_acc(a, static_cast<Reg>(r));
+    }
+    (void)env;
+  }
+};
+
+// -----------------------------------------------------------------------------
+// Shifter: every shift amount for logical/arithmetic shifts, register and
+// immediate forms.
+// -----------------------------------------------------------------------------
+
+class ShifterTest final : public SelfTestRoutine {
+ public:
+  std::string name() const override { return "shifter"; }
+
+  void emit_body(Assembler& a, const RoutineEnv& env,
+                 const std::string&) const override {
+    const unsigned npat = std::min<unsigned>(env.patterns, 3);
+    static constexpr u32 kShiftPats[3] = {0x80000001, 0xaaaaaaaa, 0xdeadbeef};
+    for (unsigned p = 0; p < npat; ++p) {
+      a.li(R1, kShiftPats[p]);
+      for (unsigned sh = 0; sh < 32; sh += 1) {
+        a.addi(R2, R0, static_cast<i32>(sh));
+        a.sll(R3, R1, R2);
+        emit_misr_acc(a, R3);
+        a.srl(R3, R1, R2);
+        emit_misr_acc(a, R3);
+        a.sra(R3, R1, R2);
+        emit_misr_acc(a, R3);
+      }
+      a.slli(R3, R1, 7);
+      emit_misr_acc(a, R3);
+      a.srli(R3, R1, 13);
+      emit_misr_acc(a, R3);
+      a.srai(R3, R1, 21);
+      emit_misr_acc(a, R3);
+    }
+    (void)env;
+  }
+};
+
+// -----------------------------------------------------------------------------
+// Branch unit: every conditional branch taken and not taken, forward and
+// backward, with path markers folded into the signature.
+// -----------------------------------------------------------------------------
+
+class BranchTest final : public SelfTestRoutine {
+ public:
+  std::string name() const override { return "branch"; }
+
+  void emit_body(Assembler& a, const RoutineEnv& env,
+                 const std::string& lbl) const override {
+    (void)env;
+    unsigned seq = 0;
+    // (op, a, b) triples chosen so each predicate is exercised both ways.
+    struct Case {
+      Op op;
+      u32 va, vb;
+    };
+    static constexpr Case kCases[] = {
+        {Op::kBeq, 5, 5},          {Op::kBeq, 5, 6},
+        {Op::kBne, 7, 8},          {Op::kBne, 9, 9},
+        {Op::kBlt, 0xffffffff, 0}, {Op::kBlt, 1, 0},
+        {Op::kBge, 3, 3},          {Op::kBge, 0xffffffff, 0},
+        {Op::kBltu, 1, 2},         {Op::kBltu, 0xffffffff, 0},
+        {Op::kBgeu, 0xffffffff, 1},{Op::kBgeu, 0, 1},
+    };
+    for (const Case& c : kCases) {
+      const std::string t = lbl + "_t" + std::to_string(seq);
+      const std::string j = lbl + "_j" + std::to_string(seq);
+      ++seq;
+      a.li(R1, c.va);
+      a.li(R2, c.vb);
+      a.addi(R3, R0, 1);  // path marker: 1 = fell through, 3 = taken
+      switch (c.op) {
+        case Op::kBeq: a.beq(R1, R2, t); break;
+        case Op::kBne: a.bne(R1, R2, t); break;
+        case Op::kBlt: a.blt(R1, R2, t); break;
+        case Op::kBge: a.bge(R1, R2, t); break;
+        case Op::kBltu: a.bltu(R1, R2, t); break;
+        default: a.bgeu(R1, R2, t); break;
+      }
+      a.addi(R3, R3, 1);  // not taken
+      a.beq(R0, R0, j);
+      a.label(t);
+      a.addi(R3, R3, 2);  // taken
+      a.label(j);
+      emit_misr_acc(a, R3);
+    }
+    // Backward branch: a small counted loop.
+    a.addi(R4, R0, 5);
+    a.addi(R5, R0, 0);
+    a.label(lbl + "_loop");
+    a.addi(R5, R5, 3);
+    a.addi(R4, R4, -1);
+    a.bne(R4, R0, lbl + "_loop");
+    emit_misr_acc(a, R5);
+    // Jump-and-link pair.
+    a.jal(R20, lbl + "_land");
+    a.label(lbl + "_land");
+    emit_misr_acc(a, R20);
+  }
+};
+
+// -----------------------------------------------------------------------------
+// Multiplier / divider, including the architectural corner cases.
+// -----------------------------------------------------------------------------
+
+class MulDivTest final : public SelfTestRoutine {
+ public:
+  std::string name() const override { return "muldiv"; }
+
+  void emit_body(Assembler& a, const RoutineEnv& env,
+                 const std::string&) const override {
+    (void)env;
+    struct Pair {
+      u32 x, y;
+    };
+    static constexpr Pair kPairs[] = {
+        {0x00000003, 0x00000007}, {0xaaaaaaaa, 0x55555555},
+        {0x7fffffff, 0x00000002}, {0x80000000, 0xffffffff},  // INT_MIN / -1
+        {0xffffffff, 0x00010001}, {0x00000000, 0x12345678},
+    };
+    for (const Pair& p : kPairs) {
+      a.li(R1, p.x);
+      a.li(R2, p.y);
+      a.mul(R3, R1, R2);
+      emit_misr_acc(a, R3);
+      a.mulh(R3, R1, R2);
+      emit_misr_acc(a, R3);
+      a.div(R3, R1, R2);
+      emit_misr_acc(a, R3);
+      a.divu(R3, R1, R2);
+      emit_misr_acc(a, R3);
+      a.rem(R3, R1, R2);
+      emit_misr_acc(a, R3);
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<SelfTestRoutine> make_alu_test() { return std::make_unique<AluTest>(); }
+std::unique_ptr<SelfTestRoutine> make_rf_march_test() {
+  return std::make_unique<RfMarchTest>();
+}
+std::unique_ptr<SelfTestRoutine> make_shifter_test() {
+  return std::make_unique<ShifterTest>();
+}
+std::unique_ptr<SelfTestRoutine> make_branch_test() {
+  return std::make_unique<BranchTest>();
+}
+std::unique_ptr<SelfTestRoutine> make_muldiv_test() {
+  return std::make_unique<MulDivTest>();
+}
+
+std::vector<std::unique_ptr<SelfTestRoutine>> make_boot_stl() {
+  std::vector<std::unique_ptr<SelfTestRoutine>> stl;
+  stl.push_back(make_alu_test());
+  stl.push_back(make_rf_march_test());
+  stl.push_back(make_shifter_test());
+  stl.push_back(make_branch_test());
+  stl.push_back(make_muldiv_test());
+  return stl;
+}
+
+}  // namespace detstl::core

@@ -1,0 +1,331 @@
+// Forwarding-logic / HDCU self-test routine, after Bernardi et al. [19]
+// ("Software-based self-test techniques for dual-issue embedded processors"):
+// exhaustively exercises every forwarding path of the dual-issue pipeline —
+// producer pipe {0,1} x consumer pipe {0,1} x distance {1,2} x operand port
+// {rs1,rs2} — plus the same-packet (split) paths, load-use paths, and on
+// core C the 64-bit pair and high-half paths. Each case applies complementary
+// data patterns and folds the consumed value into the signature; the variant
+// with performance counters also folds the HDCU stall/split deltas (wrapper
+// epilogue).
+//
+// Issue-slot placement is controlled by construction: each case template
+// starts at packet parity 0 and is re-synchronised with an always-taken
+// branch barrier, so in cache-resident execution the producer/consumer land
+// in the intended pipes at the intended distance. Under fetch starvation
+// (multi-core, no caches) the placement silently degrades — which is
+// precisely the fault-coverage instability the paper measures in Table II.
+
+#include "core/routines.h"
+#include "core/signature.h"
+
+namespace detstl::core {
+
+using namespace isa;
+
+namespace {
+
+// Register allocation (see routine.h conventions; bodies own r1..r20):
+//   r13, r14  32-bit pattern operands        r15  mask operand
+//   r11  producer result   r12  consumer result
+//   r9, r10   distinct-value slot fillers
+//   r2/r3, r4/r5, r6/r7  64-bit pattern pairs (core C cases)
+//   r16/r17  64-bit producer result pair     r18/r19  64-bit consumer pair
+constexpr Reg kPatA = R13;
+constexpr Reg kPatB = R14;
+constexpr Reg kMask = R15;
+constexpr Reg kProd = R11;
+constexpr Reg kCons = R12;
+
+constexpr u32 kPatterns[6] = {0xaaaaaaaa, 0x55555555, 0xffff0000,
+                              0x00ff00ff, 0xdeadbeef, 0x80000001};
+
+class FwdTest final : public SelfTestRoutine {
+ public:
+  explicit FwdTest(bool with_pcs) : with_pcs_(with_pcs) {}
+
+  std::string name() const override {
+    return with_pcs_ ? "fwd-hdcu[19]+pc" : "fwd-logic[19]";
+  }
+
+  bool wants_perf_counters() const override { return with_pcs_; }
+
+  void emit_body(Assembler& a, const RoutineEnv& env,
+                 const std::string& lbl) const override;
+
+  u32 data_bytes() const override { return 64; }
+
+ private:
+  bool with_pcs_;
+};
+
+struct CaseEmitter {
+  Assembler& a;
+  const RoutineEnv& env;
+  std::string lbl;
+  unsigned seq = 0;
+  unsigned filler_flip = 0;
+  unsigned rot = 0;
+  Reg prod = kProd;
+  Reg cons = kCons;
+
+  /// Rotate the producer/consumer destination registers so the HDCU's
+  /// comparators see varied rd/rs encodings (not a single fixed index).
+  void rotate() {
+    static constexpr Reg kProds[3] = {R11, R17, R19};
+    static constexpr Reg kConss[3] = {R12, R8, R6};
+    prod = kProds[rot % 3];
+    cons = kConss[rot % 3];
+    ++rot;
+  }
+
+  /// Distinct-value slot filler: keeps every producer latch holding a unique
+  /// value so wrong-select faults change the consumed data.
+  void filler() {
+    if (filler_flip ^= 1) {
+      a.addi(R9, R9, 3);
+    } else {
+      a.addi(R10, R10, 5);
+    }
+  }
+
+  /// Always-taken branch: resets issue parity to slot 0 deterministically.
+  void barrier() {
+    const std::string t = lbl + "_bar" + std::to_string(seq++);
+    a.beq(R0, R0, t);
+    a.label(t);
+  }
+
+  /// Parity-neutral signature fold (see emit_misr_acc packing note).
+  void fold(Reg v) {
+    emit_misr_acc(a, v);
+    a.nop();
+    barrier();
+  }
+
+  /// Per-case input perturbation: every producer computes a unique value, so
+  /// a faulty select falling back to a stale register-file copy (or another
+  /// latch) is guaranteed to pick up different data.
+  void twiddle() {
+    a.addi(kPatA, kPatA, 13);
+    filler();
+  }
+  void twiddle64() {
+    a.add64(R2, R2, R6);
+    filler();
+  }
+
+  // --- 32-bit ALU producer -> ALU consumer --------------------------------------
+  void alu_case(unsigned prod_slot, unsigned cons_slot, unsigned dist, bool rs1_port) {
+    rotate();
+    twiddle();
+    // producer packet
+    if (prod_slot == 0) {
+      a.add(prod, kPatA, kPatB);
+      filler();
+    } else {
+      filler();
+      a.add(prod, kPatA, kPatB);
+    }
+    if (dist == 2) {
+      filler();
+      filler();
+    }
+    // consumer packet
+    if (cons_slot == 0) {
+      emit_consumer(rs1_port);
+      filler();
+    } else {
+      filler();
+      emit_consumer(rs1_port);
+    }
+    fold(cons);
+  }
+
+  void emit_consumer(bool rs1_port) {
+    if (rs1_port) {
+      a.xor_(cons, prod, kMask);
+    } else {
+      a.xor_(cons, kMask, prod);
+    }
+  }
+
+  // --- same-packet RAW: the HDCU must split and forward cross-pipe ----------------
+  void split_case(bool rs1_port) {
+    rotate();
+    twiddle();
+    a.sub(prod, kPatA, kPatB);
+    emit_consumer(rs1_port);  // same packet -> split
+    a.nop();                  // restores parity after the split
+    fold(cons);
+  }
+
+  // --- load producer: load-use stall (dist 1) and MEM/WB forward (dist 2) ---------
+  void load_case(unsigned dist, unsigned cons_slot, bool rs1_port, i32 off) {
+    rotate();
+    a.lw(prod, R25, off);
+    filler();
+    if (dist == 2) {
+      filler();
+      filler();
+    }
+    if (cons_slot == 0) {
+      emit_consumer(rs1_port);
+      filler();
+    } else {
+      filler();
+      emit_consumer(rs1_port);
+    }
+    fold(cons);
+  }
+
+  // --- core C: 64-bit pair forwarding ---------------------------------------------
+  void pair_case(unsigned dist, unsigned prod_slot, bool rs1_port) {
+    const Reg pp = rot % 2 == 0 ? R16 : R18;  // rotate pair producers too
+    const Reg pc = pp == R16 ? R18 : R16;
+    ++rot;
+    twiddle64();
+    if (prod_slot == 0) {
+      a.add64(pp, R2, R4);
+      filler();
+    } else {
+      filler();
+      a.add64(pp, R2, R4);
+    }
+    if (dist == 2) {
+      filler();
+      filler();
+    }
+    if (rs1_port) {
+      a.xor64(pc, pp, R6);
+    } else {
+      a.xor64(pc, R6, pp);
+    }
+    filler();
+    // Only the LOW word reaches the 32-bit signature — the paper's [19]
+    // algorithm is unchanged on core C, so "the signature must be
+    // represented using 32 bits, which causes some fault effects to be
+    // masked" (Sec. IV-C); this is why core C's coverage is lower.
+    fold(pc);
+  }
+
+  // --- core C: 64-bit producer, 32-bit consumer reading the high half -------------
+  void high_half_case(unsigned dist, bool rs1_port) {
+    const Reg pp = rot % 2 == 0 ? R16 : R18;
+    ++rot;
+    twiddle64();
+    a.add64(pp, R2, R4);
+    filler();
+    if (dist == 2) {
+      filler();
+      filler();
+    }
+    if (rs1_port) {
+      a.xor_(kCons, static_cast<Reg>(pp + 1), kMask);  // rs = rd+1: high half
+    } else {
+      a.xor_(kCons, kMask, static_cast<Reg>(pp + 1));
+    }
+    filler();
+    fold(kCons);
+  }
+
+  // --- core C: mixed-width interlocks (32-bit producer into a pair read) ----------
+  void mixed_case() {
+    twiddle64();
+    a.addi(R16, R0, 0x123);  // writes the low half of pair r16
+    filler();
+    a.xor64(R18, R16, R6);   // pair read right behind: must interlock
+    filler();
+    fold(R18);  // low word only (32-bit signature, see pair_case)
+  }
+
+  void mixed_high_case() {
+    twiddle64();
+    a.addi(R17, R0, 0x321);  // writes the HIGH half of pair r16 (e2 compare)
+    filler();
+    a.xor64(R18, R16, R6);   // pair read right behind: must interlock
+    filler();
+    fold(R18);  // low word only: the high-half effect is partially masked
+  }
+};
+
+void FwdTest::emit_body(Assembler& a, const RoutineEnv& env,
+                        const std::string& lbl) const {
+  CaseEmitter e{a, env, lbl};
+
+  // Initialise fillers and the load-case data (stores allocate D$ lines in
+  // the loading loop; dummy loads under no-write-allocate).
+  a.addi(R9, R0, 0x111);
+  a.addi(R10, R0, 0x222);
+
+  const unsigned npat = std::min<unsigned>(env.patterns, 6);
+  for (unsigned p = 0; p < npat; ++p) {
+    const u32 pat = kPatterns[p];
+    a.li(kPatA, pat);
+    a.li(kPatB, ~pat);
+    a.li(kMask, pat ^ 0x0f0f0f0f);
+    emit_store_word(a, env, kPatA, R25, 0);
+    emit_store_word(a, env, kPatB, R25, 4);
+    e.barrier();
+
+    // Interpipeline and intrapipeline ALU paths: 2x2 pipes x 2 distances x
+    // 2 operand ports.
+    for (unsigned prod_slot = 0; prod_slot < 2; ++prod_slot)
+      for (unsigned cons_slot = 0; cons_slot < 2; ++cons_slot)
+        for (unsigned dist = 1; dist <= 2; ++dist)
+          for (bool rs1 : {true, false}) e.alu_case(prod_slot, cons_slot, dist, rs1);
+
+    // Same-packet dependencies (HDCU split + cross-pipe forward).
+    e.split_case(true);
+    e.split_case(false);
+
+    // Load producers: load-use stall and MEM/WB forward, both ports and
+    // consumer slots.
+    for (unsigned dist = 1; dist <= 2; ++dist)
+      for (unsigned cons_slot = 0; cons_slot < 2; ++cons_slot)
+        for (bool rs1 : {true, false})
+          e.load_case(dist, cons_slot, rs1, rs1 ? 0 : 4);
+
+    // Spill the running signature (store-only observable, own cache line):
+    // this is the access pattern the no-write-allocate dummy-load rule of
+    // Sec. III step 1 exists for — without the rule the execution-loop store
+    // keeps missing and rides the contended bus.
+    emit_store_word(a, env, R29, R25, 32 + 4 * static_cast<i32>(p));
+    e.barrier();
+  }
+
+  // Core C: 64-bit datapath paths (reduced pattern depth keeps the routine
+  // within the I-cache, paper rule 2.2).
+  if (core_has_r64(env.kind)) {
+    const unsigned npat64 = std::max(1u, npat / 2);
+    for (unsigned p = 0; p < npat64; ++p) {
+      const u32 pat = kPatterns[p];
+      a.li(R2, pat);
+      a.li(R3, ~pat);
+      a.li(R4, pat ^ 0x00ffff00);
+      a.li(R5, pat ^ 0x3c3c3c3c);
+      a.li(R6, 0x0f0f0f0f);
+      a.li(R7, 0xf0f0f0f0);
+      e.barrier();
+      for (unsigned dist = 1; dist <= 2; ++dist) {
+        for (unsigned prod_slot = 0; prod_slot < 2; ++prod_slot)
+          for (bool rs1 : {true, false}) e.pair_case(dist, prod_slot, rs1);
+        for (bool rs1 : {true, false}) e.high_half_case(dist, rs1);
+      }
+      e.mixed_case();
+      e.mixed_high_case();
+    }
+  }
+
+  // Fold the filler accumulators (their values depend on every filler having
+  // executed exactly once).
+  e.fold(R9);
+  e.fold(R10);
+}
+
+}  // namespace
+
+std::unique_ptr<SelfTestRoutine> make_fwd_test(bool with_perf_counters) {
+  return std::make_unique<FwdTest>(with_perf_counters);
+}
+
+}  // namespace detstl::core

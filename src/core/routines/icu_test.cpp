@@ -1,0 +1,275 @@
+// Synchronous imprecise interrupt self-test, after Singh et al. [21] ("Test
+// generation for precise interrupts on out-of-order microprocessors"),
+// adapted to the ICU of the modelled cores: every interrupt source is raised
+// under several pipeline-fill patterns; the ISR folds the cause register and
+// the recognition distance (MEPC - MFPC) into the signature. The recognition
+// distance depends on how many instructions issue between the event being
+// flagged at WB and the recognition boundary — exactly the quantity that
+// fetch starvation perturbs in a multi-core execution (paper Sec. IV-D:
+// unstable signature). Masked-source cases additionally grade the MIE gating
+// and pending (MIP) readout, and the per-core cause mapping (A/B share cause
+// bits; C reports distinct ones) determines which ICU faults stay masked.
+
+#include "core/routines.h"
+#include "core/signature.h"
+
+namespace detstl::core {
+
+using namespace isa;
+
+namespace {
+
+class IcuTest final : public SelfTestRoutine {
+ public:
+  std::string name() const override { return "icu-imprecise[21]"; }
+  bool needs_isr() const override { return true; }
+  u32 data_bytes() const override { return 64; }
+
+  void emit_body(Assembler& a, const RoutineEnv& env,
+                 const std::string& lbl) const override;
+};
+
+struct IcuEmitter {
+  Assembler& a;
+  const RoutineEnv& env;
+  std::string lbl;
+  unsigned seq = 0;
+
+  void barrier() {
+    const std::string t = lbl + "_bar" + std::to_string(seq++);
+    a.beq(R0, R0, t);
+    a.label(t);
+  }
+
+  /// Barrier landing at a flash-line boundary (the padding NOPs are dead
+  /// code, jumped over). Dual-event cases use it to pin the second event
+  /// just past the next line boundary: cache-resident execution keeps it
+  /// inside the first event's recognition window, fetch-from-flash always
+  /// pays the line miss there and misses the window.
+  void aligned_barrier() {
+    const std::string t = lbl + "_abar" + std::to_string(seq++);
+    a.beq(R0, R0, t);
+    a.align(32);
+    a.label(t);
+  }
+
+  /// `fill` packets of independent work behind the interrupting instruction:
+  /// the recognition boundary sweeps across different pipeline states.
+  /// Alternating destination registers keep the fillers dual-issuable (a
+  /// dependent chain would split every packet and stretch the window).
+  void post_fill(unsigned fill) {
+    for (unsigned i = 0; i < 2 * fill; ++i) {
+      if (i % 2) {
+        a.addi(R10, R10, 1);
+      } else {
+        a.addi(R9, R9, 1);
+      }
+    }
+  }
+
+  void overflow_case(unsigned fill) {
+    a.li(R1, 0x7fffffff);
+    a.addi(R2, R0, 1);
+    barrier();
+    a.addv(R11, R1, R2);  // raises kOverflow at WB
+    post_fill(fill);
+    barrier();
+    emit_misr_acc(a, R11);
+  }
+
+  void subv_case(unsigned fill) {
+    a.li(R1, 0x80000000);
+    a.addi(R2, R0, 1);
+    barrier();
+    a.subv(R11, R1, R2);
+    post_fill(fill);
+    barrier();
+    emit_misr_acc(a, R11);
+  }
+
+  void divzero_case(unsigned fill) {
+    a.li(R1, 1234);
+    barrier();
+    a.div(R11, R1, R0);  // raises kDivZero at WB (after the divide latency)
+    post_fill(fill);
+    barrier();
+    emit_misr_acc(a, R11);
+  }
+
+  void unaligned_case(unsigned fill, i32 off) {
+    emit_store_word(a, env, R9, R25, 8);
+    barrier();
+    a.lw(R11, R25, 8 + off);  // misaligned: performed force-aligned + event
+    post_fill(fill);
+    barrier();
+    emit_misr_acc(a, R11);
+  }
+
+  void swi_case(unsigned fill) {
+    a.addi(R1, R0, 1);
+    barrier();
+    a.csrw(Csr::kMswi, R1);  // software imprecise event
+    post_fill(fill);
+    barrier();
+  }
+
+  /// Two sources raised `gap` packets apart. With cache-resident execution
+  /// the second event's instruction issues inside the first event's
+  /// recognition window (issue keeps running until the pipeline drains), so
+  /// both sources are pending at the trap and the ICU's priority chain is
+  /// excited with multiple active requests. Under fetch starvation the
+  /// second instruction arrives after the trap has flushed the front end and
+  /// the events are serialised — the excitation is lost (the paper's
+  /// "not possible to trigger correctly all the imprecise interrupts").
+  void dual_case(unsigned first, unsigned gap) {
+    a.li(R1, 0x7fffffff);
+    a.addi(R2, R0, 1);
+    a.li(R3, 77);
+    aligned_barrier();
+    switch (first) {
+      case 0:
+        a.addv(R11, R1, R2);  // overflow
+        break;
+      case 1:
+        a.div(R11, R3, R0);  // div-by-zero
+        break;
+      default:
+        a.lw(R11, R25, 13);  // access error
+        break;
+    }
+    post_fill(gap);
+    a.csrw(Csr::kMswi, R3);  // second source: software event
+    post_fill(2);
+    barrier();
+    emit_misr_acc(a, R11);
+  }
+
+  /// Coincident events from sources that SHARE a cause bit on cores A/B
+  /// (overflow + divide-by-zero both report bit 0). A priority fault that
+  /// swaps their service order leaves the A/B cause stream unchanged —
+  /// masked — while core C's distinct bits expose it (the ~10% ICU coverage
+  /// gap of paper Sec. IV-D).
+  void pair_conflict_case(unsigned gap) {
+    a.li(R1, 0x7fffffff);
+    a.addi(R2, R0, 1);
+    a.li(R3, 55);
+    aligned_barrier();
+    a.addv(R11, R1, R2);  // overflow
+    post_fill(gap);
+    a.div(R12, R3, R0);   // divide-by-zero: its EX latency lands the event
+                          // inside the overflow's recognition drain
+    post_fill(2);
+    barrier();
+    emit_misr_acc(a, R11);
+    emit_misr_acc(a, R12);
+  }
+
+  /// A masked source left pending while an enabled source traps: the
+  /// priority select must skip the pending-but-masked bit.
+  void pending_priority_case() {
+    a.li(R1, 0xf & ~0x1);   // mask overflow
+    a.csrw(Csr::kMie, R1);
+    a.li(R1, 0x7fffffff);
+    a.addi(R2, R0, 3);
+    barrier();
+    a.addv(R11, R1, R2);    // overflow: pending, masked
+    post_fill(1);
+    a.csrw(Csr::kMswi, R2); // software event: traps with overflow pending
+    post_fill(2);
+    barrier();
+    a.csrr(R12, Csr::kMip);
+    emit_misr_acc(a, R12);
+    a.li(R1, 0x1);
+    a.csrw(Csr::kMip, R1);  // clear the masked overflow
+    a.li(R1, 0xf);
+    a.csrw(Csr::kMie, R1);
+    barrier();
+  }
+
+  /// Masked source: the event must set MIP but not trap; the body observes
+  /// the pending bit and clears it (grades MIE gating and MIP readout).
+  void masked_case(IcuSource src) {
+    const u8 bit = static_cast<u8>(1u << static_cast<unsigned>(src));
+    a.li(R1, 0xf & ~bit);
+    a.csrw(Csr::kMie, R1);  // mask the source
+    barrier();
+    switch (src) {
+      case IcuSource::kOverflow:
+        a.li(R1, 0x7fffffff);
+        a.addi(R2, R0, 2);
+        a.addv(R11, R1, R2);
+        break;
+      case IcuSource::kDivZero:
+        a.li(R1, 99);
+        a.div(R11, R1, R0);
+        break;
+      case IcuSource::kUnaligned:
+        a.lw(R11, R25, 9);
+        break;
+      case IcuSource::kSoftware:
+        a.csrw(Csr::kMswi, R1);
+        break;
+    }
+    barrier();
+    a.csrr(R12, Csr::kMip);  // pending bit visible
+    emit_misr_acc(a, R12);
+    a.li(R1, bit);
+    a.csrw(Csr::kMip, R1);  // write-1-to-clear
+    a.csrr(R12, Csr::kMip); // must be clear again
+    emit_misr_acc(a, R12);
+    a.li(R1, 0xf);
+    a.csrw(Csr::kMie, R1);  // restore
+    barrier();
+  }
+
+  void fold_fillers() {
+    emit_misr_acc(a, R9);
+    emit_misr_acc(a, R10);
+  }
+};
+
+void IcuTest::emit_body(Assembler& a, const RoutineEnv& env,
+                        const std::string& lbl) const {
+  IcuEmitter e{a, env, lbl};
+  a.addi(R9, R0, 0x40);
+  a.addi(R10, R0, 0x80);
+
+  const unsigned fills = std::min<unsigned>(env.patterns, 4);
+  for (unsigned fill = 0; fill < fills; ++fill) {
+    e.overflow_case(fill);
+    e.subv_case(fill);
+    e.divzero_case(fill);
+    e.unaligned_case(fill, 1);
+    e.unaligned_case(fill, 2);
+    e.swi_case(fill);
+  }
+
+  // Multi-source interactions: coincident requests (priority chain) and
+  // masked-pending skipping. Gaps start at 1 packet: with gap 0 the second
+  // event lands in the recognition window even under fetch starvation, which
+  // would hand the single-core no-cache run the same excitation for free.
+  // Gap 4 (8 filler instructions) places the second event at byte offset 36
+  // of the aligned case — just past the next 32-byte flash line. Every
+  // coincidence case must have this crossing: a single non-crossing case
+  // would hand the single-core no-cache run the same multi-pending
+  // excitation and erase the coverage gap the caches provide.
+  e.dual_case(0, 4);
+  e.dual_case(2, 4);
+  e.pair_conflict_case(4);
+  e.pending_priority_case();
+
+  e.masked_case(IcuSource::kOverflow);
+  e.masked_case(IcuSource::kDivZero);
+  e.masked_case(IcuSource::kUnaligned);
+  e.masked_case(IcuSource::kSoftware);
+
+  e.fold_fillers();
+}
+
+}  // namespace
+
+std::unique_ptr<SelfTestRoutine> make_icu_test() {
+  return std::make_unique<IcuTest>();
+}
+
+}  // namespace detstl::core

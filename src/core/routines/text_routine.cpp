@@ -1,0 +1,47 @@
+// Self-test routines authored as assembly text: downstream users plug .s
+// fragments into the wrapper machinery without touching C++ emitters. The
+// fragment follows the body conventions of routine.h (compute in r1..r20,
+// r25 = data base, fold observations into r29 — typically via the misr
+// sequence, or by calling no helper and XOR-folding manually).
+
+#include "core/routines.h"
+#include "isa/asmparser.h"
+
+namespace detstl::core {
+
+namespace {
+
+class TextRoutine final : public SelfTestRoutine {
+ public:
+  TextRoutine(std::string name, std::string source, bool isr, u32 data_bytes)
+      : name_(std::move(name)),
+        source_(std::move(source)),
+        isr_(isr),
+        data_bytes_(data_bytes) {}
+
+  std::string name() const override { return name_; }
+  bool needs_isr() const override { return isr_; }
+  u32 data_bytes() const override { return data_bytes_; }
+
+  void emit_body(isa::Assembler& a, const RoutineEnv&,
+                 const std::string& lbl) const override {
+    isa::assemble_text_into(a, source_, lbl + "_");
+  }
+
+ private:
+  std::string name_;
+  std::string source_;
+  bool isr_;
+  u32 data_bytes_;
+};
+
+}  // namespace
+
+std::unique_ptr<SelfTestRoutine> make_text_routine(std::string name,
+                                                   std::string body_source,
+                                                   bool needs_isr, u32 data_bytes) {
+  return std::make_unique<TextRoutine>(std::move(name), std::move(body_source),
+                                       needs_isr, data_bytes);
+}
+
+}  // namespace detstl::core

@@ -1,0 +1,18 @@
+#pragma once
+// Software MISR used by the self-test routines to compress results into the
+// test signature (paper Sec. I: results are accumulated into a signature that
+// is compared against the fault-free value). The same formula exists in
+// assembly (emit_misr_acc) and here for harness-side mirroring.
+
+#include "common/bitutil.h"
+
+namespace detstl::core {
+
+inline constexpr u32 kSignatureSeed = 0x5eed5eedu;
+
+/// One MISR step: rotate-left-1 then XOR the new value.
+inline u32 misr_step(u32 sig, u32 value) {
+  return ((sig << 1) | (sig >> 31)) ^ value;
+}
+
+}  // namespace detstl::core

@@ -1,0 +1,58 @@
+#pragma once
+// Software Test Library assembly: combine wrapped routines into one per-core
+// boot-test program, optionally synchronised across cores with shared-memory
+// barriers (the decentralised scheduling structure of [13], which the paper's
+// Table I experiments follow: "a software structure similar to the one
+// presented by the authors of [13]").
+//
+// Layout per core:
+//   main: for each routine: jal <routine entry>; [barrier k]; ... ; halt
+//   each routine is a wrapped subroutine writing (status, signature) to its
+//   own 8-byte result slot.
+// Barrier counters live in shared SRAM and are accessed uncached via
+// amoadd/loads (the private caches are not coherent).
+
+#include <memory>
+#include <vector>
+
+#include "core/wrapper.h"
+
+namespace detstl::core {
+
+struct SuiteSpec {
+  std::vector<const SelfTestRoutine*> routines;
+  WrapperKind wrapper = WrapperKind::kPlain;
+  BuildEnv env;                 // code_base / data_base / core / policy knobs
+  u32 results_base = 0;         // 8 bytes per routine (status, signature)
+  bool barriers = false;        // phase barrier after every routine
+  u32 barrier_base = 0;         // shared counters, one word per phase
+  unsigned barrier_cores = 1;   // expected arrivals per phase
+};
+
+struct BuiltSuite {
+  isa::Program prog;
+  std::vector<u32> goldens;     // calibrated per routine
+  std::vector<std::string> names;
+  u32 results_base = 0;
+  u32 code_bytes = 0;
+  u64 calib_cycles = 0;         // fault-free single-core suite time
+};
+
+/// Assemble + calibrate a full suite (two-pass, like build_wrapped; the
+/// calibration runs single-core with barrier_cores forced to 1 arrival).
+BuiltSuite build_suite(const SuiteSpec& spec);
+
+/// Per-routine verdicts from the results area.
+std::vector<TestVerdict> read_suite_verdicts(const soc::Soc& soc,
+                                             const BuiltSuite& suite);
+
+/// Default shared addresses for the triple-core experiments.
+inline u32 default_results_base(unsigned core_id) {
+  return mem::kSramBase + 0x100 + core_id * 0x100;
+}
+inline constexpr u32 kDefaultBarrierBase = mem::kSramBase + 0x80;
+inline u32 default_data_base(unsigned core_id) {
+  return mem::kSramBase + 0x8000 + core_id * 0x1000;
+}
+
+}  // namespace detstl::core

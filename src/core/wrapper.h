@@ -1,0 +1,84 @@
+#pragma once
+// Execution wrappers around self-test routine bodies:
+//
+//  * kPlain      — the single-core structure of Fig. 2a: run the body once,
+//                  compare the signature, report, halt.
+//  * kCacheBased — the paper's contribution (Fig. 2b): invalidate the private
+//                  caches, enable them, run the body twice in a loop. The
+//                  first pass (loading loop) pulls code into the I-cache and
+//                  data into the D-cache and computes no checked signature;
+//                  the second pass (execution loop) runs entirely from the
+//                  caches, decoupled from bus contention, and its signature
+//                  is compared.
+//  * kTcmBased   — the Table IV comparison strategy: copy the routine into
+//                  the instruction TCM at boot, execute it from there. Same
+//                  determinism, but the TCM bytes stay permanently reserved.
+//
+// build_wrapped() performs the two-pass golden-signature calibration: the
+// program is assembled with a placeholder, executed fault-free on an isolated
+// single-core SoC (the paper's "fault-free scenario"), and re-assembled with
+// the observed signature as the expected-value constant.
+
+#include <memory>
+
+#include "core/routine.h"
+#include "isa/program.h"
+#include "soc/soc.h"
+
+namespace detstl::core {
+
+enum class WrapperKind : u8 { kPlain, kCacheBased, kTcmBased };
+
+const char* wrapper_name(WrapperKind k);
+
+struct BuildEnv {
+  u32 code_base = mem::kFlashBase + 0x1000;  // flash placement (position knob)
+  u32 data_base = mem::kSramBase + 0x8000;   // cacheable scratch
+  u32 mailbox = 0;                           // 0 = mailbox_addr(core_id)
+  unsigned core_id = 0;
+  isa::CoreKind kind = isa::CoreKind::kA;
+  bool write_allocate = true;
+  bool use_perf_counters = false;
+  unsigned patterns = 4;
+  /// Ablation knobs. cache_loop_iterations: total body executions of the
+  /// cache-based wrapper (2 = loading + execution loop, the paper's recipe;
+  /// 1 = no loading loop). omit_nwa_dummy_loads: disable the no-write-allocate
+  /// dummy-load fix-up (paper Sec. III step 1) to demonstrate why it exists.
+  unsigned cache_loop_iterations = 2;
+  bool omit_nwa_dummy_loads = false;
+  u32 itcm_dst = mem::kItcmBase;  // TCM wrapper copy target
+  /// Suite mode: end with `ret` instead of `halt` so a scheduler can chain
+  /// routines; the caller provides prologue/halt.
+  bool as_subroutine = false;
+};
+
+struct BuiltTest {
+  isa::Program prog;
+  WrapperKind wrapper = WrapperKind::kPlain;
+  BuildEnv env;
+  u32 golden = 0;        // calibrated fault-free signature
+  u32 code_bytes = 0;    // program code+constants footprint
+  u32 tcm_bytes = 0;     // ITCM bytes permanently reserved (TCM wrapper only)
+  u64 calib_cycles = 0;  // fault-free single-core execution time (reset->halt)
+  std::string name;
+};
+
+/// Emit the wrapped routine into `a` with the given expected signature.
+/// Returns the label of the entry point.
+std::string emit_wrapped(isa::Assembler& a, const SelfTestRoutine& r,
+                         WrapperKind w, const BuildEnv& env, u32 golden,
+                         const std::string& lbl_prefix);
+
+/// Assemble + calibrate (two-pass). Throws AsmError if the cache-based
+/// program exceeds the I-cache size (the paper's rule 2.2 would then require
+/// splitting the routine).
+BuiltTest build_wrapped(const SelfTestRoutine& r, WrapperKind w, const BuildEnv& env);
+
+/// Read the verdict a wrapped test left in its mailbox.
+struct TestVerdict {
+  u32 status = 0;  // soc::kStatusRunning/Pass/Fail
+  u32 signature = 0;
+};
+TestVerdict read_verdict(const soc::Soc& soc, u32 mailbox);
+
+}  // namespace detstl::core

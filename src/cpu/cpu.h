@@ -1,0 +1,176 @@
+#pragma once
+// Dual-issue, 5-stage, in-order pipeline (IF, IS, EX, MEM, WB) modelling the
+// paper's automotive cores:
+//   * 8-byte fetch packets through the per-core memory system (TCM / L1
+//     caches / shared bus) — fetch starvation is the multi-core disturbance
+//     the paper studies;
+//   * two execution pipes; memory ops, branches, multi-cycle divides and
+//     system ops issue in slot 0 only; same-packet RAW/WAW splits the packet;
+//   * forwarding into both EX operand pairs from EXMEM/MEMWB of both pipes,
+//     driven by the HDCU; load-use and mixed-width hazards stall one cycle;
+//   * synchronous imprecise interrupts: events flagged at WB, recognised at
+//     the next issue boundary after the pipeline drains;
+//   * performance counters (CSRs) for cycles/retired/IF stalls/MEM stalls/
+//     HDCU stalls/splits.
+//
+// The HDCU, Forwarding Logic and ICU are pluggable (behavioural by default,
+// netlist-backed in fault campaigns) via non-owning hook pointers.
+
+#include <deque>
+#include <string>
+
+#include "cpu/forward.h"
+#include "cpu/hazard.h"
+#include "cpu/icu.h"
+#include "cpu/perf.h"
+#include "cpu/tap.h"
+#include "cpu/trace.h"
+#include "isa/alu.h"
+#include "isa/encoding.h"
+#include "mem/memsys.h"
+
+namespace detstl::cpu {
+
+struct CpuConfig {
+  CoreKind kind = CoreKind::kA;
+  unsigned core_id = 0;
+  mem::MemSystemConfig mem{};
+};
+
+/// Non-owning implementation overrides; all null => behavioural models.
+/// Owned by the installer (fault campaign); must be re-installed after
+/// copying the CPU (checkpoint restore).
+struct CpuHooks {
+  HazardModel* hazard = nullptr;
+  ForwardModel* fwd = nullptr;
+  IcuModel* icu = nullptr;
+  ModuleTap* tap = nullptr;
+};
+
+class Cpu {
+ public:
+  explicit Cpu(const CpuConfig& cfg);
+
+  void reset(u32 boot_pc);
+
+  /// Evaluate one clock cycle: commits WB, advances MEM/EX/IS/IF, and may
+  /// submit memory-port requests to the shared bus.
+  void cycle(mem::SharedBus& bus);
+
+  /// Completes memory-port transactions; call after the bus tick.
+  void post_tick(mem::SharedBus& bus);
+
+  bool halted() const { return halted_; }
+  CoreKind kind() const { return cfg_.kind; }
+  unsigned core_id() const { return cfg_.core_id; }
+
+  // --- architectural state access (debug / harness) ---------------------------
+  u32 reg(unsigned idx) const { return regs_[idx]; }
+  void set_reg(unsigned idx, u32 v) {
+    if (idx != 0) regs_[idx] = v;
+  }
+  u32 csr_read(isa::Csr c) const;
+  const PerfCounters& perf() const { return perf_; }
+  PerfCounters& perf() { return perf_; }
+  u64 cycle_count() const { return perf_.cycles; }
+
+  mem::MemSystem& memsys() { return memsys_; }
+  const mem::MemSystem& memsys() const { return memsys_; }
+
+  CpuHooks& hooks() { return hooks_; }
+  TraceRecorder& trace() { return trace_; }
+
+  /// Behavioural ICU state (for checkpoint restore into netlist models).
+  const IcuState& icu_state() const { return icu_; }
+
+ private:
+  struct SlotInstr {
+    bool valid = false;
+    isa::Instr in;
+    u32 pc = 0;
+    u64 trace_id = 0;
+    // EX results
+    u64 result = 0;   // rd value (zero-extended for 32-bit ops; pair for R64)
+    bool is64 = false;
+    bool writes = false;
+    bool is_load = false;
+    u8 events = 0;    // ICU event strobes raised at WB
+    // memory op bookkeeping (slot 0 only)
+    u32 mem_addr = 0;
+    u32 store_data = 0;
+    bool mem_requested = false;
+    bool mem_done = false;
+  };
+
+  struct FetchEntry {
+    u32 pc = 0;
+    u32 word = 0;
+  };
+
+  // Stage evaluation helpers (called from cycle() in order).
+  void stage_wb();
+  bool stage_mem(mem::SharedBus& bus);  // returns true if MEM advanced
+  void stage_ex(bool mem_advanced, const SlotInstr (&snap_exmem)[2],
+                const SlotInstr (&snap_memwb)[2]);
+  void stage_issue();
+  void stage_fetch(mem::SharedBus& bus);
+  void icu_endofcycle();
+
+  void execute_slot(SlotInstr& slot, u64 op_a, u64 op_b);
+  void exec_system(SlotInstr& slot, u32 rs1_val);
+  void do_redirect(u32 target);
+  void take_trap();
+  bool pipeline_empty() const;
+
+  HdcuIn build_hdcu_in(const SlotInstr (&ex)[2], const SlotInstr (&em)[2],
+                       const SlotInstr (&mw)[2]) const;
+  FwdIn build_fwd_in(const SlotInstr (&ex)[2], const HdcuOut& hz,
+                     const SlotInstr (&em)[2], const SlotInstr (&mw)[2]) const;
+
+  u32 csr_read_internal(isa::Csr c) const;
+  void csr_write(isa::Csr c, u32 v, SlotInstr& slot);
+
+  CpuConfig cfg_;
+  mem::MemSystem memsys_;
+  CpuHooks hooks_;
+  TraceRecorder trace_;
+
+  // Architectural state
+  u32 regs_[isa::kNumRegs] = {};
+  PerfCounters perf_;
+  IcuState icu_;
+  u32 mstatus_ = 0;
+  u32 mtvec_ = 0;
+  u32 mepc_ = 0;
+  u32 mcause_ = 0;
+  u32 mie_ = 0;
+  u32 mfpc_ = 0;
+
+  // Pipeline latches
+  SlotInstr ex_[2];      // packet in EX this cycle
+  SlotInstr exmem_[2];   // packet in MEM this cycle
+  SlotInstr memwb_[2];   // packet in WB this cycle
+  std::deque<FetchEntry> fq_;
+  static constexpr unsigned kFqCapacity = 8;
+
+  // Control state
+  bool halted_ = false;
+  bool halting_ = false;
+  bool flush_ = false;        // set by EX (taken branch / eret / trap)
+  u32 redirect_pc_ = 0;       // valid when flush_
+  bool redirect_pending_ = false;  // IF must re-steer
+  u32 next_fetch_ = 0;
+  u32 skip_before_ = 0;       // discard fetched slots below this PC
+  u32 next_issue_pc_ = 0;     // PC of the next instruction to issue (MEPC source)
+  u32 div_busy_ = 0;          // remaining EX cycles of an in-flight divide
+  bool drain_for_irq_ = false;
+  static constexpr u32 kDivCycles = 8;
+
+  // ICU cycle interface
+  u8 icu_events_ = 0;  // raised at WB this cycle
+  u8 icu_clear_ = 0;   // CSR kMip write strobes this cycle
+  bool icu_ack_ = false;
+  IcuOut icu_out_;     // latched output visible to IS/CSRs next cycle
+};
+
+}  // namespace detstl::cpu

@@ -1,0 +1,24 @@
+#include "cpu/forward.h"
+
+namespace detstl::cpu {
+
+FwdOut fwd_behavioral(const FwdIn& in) {
+  FwdOut out;
+  for (unsigned c = 0; c < 4; ++c) {
+    const FwdPortIn& p = in.port[c];
+    const unsigned s = static_cast<unsigned>(p.sel);
+    if (s == 0) {
+      out.operand[c] = p.rf;
+    } else if (s > kNumFwdSources) {
+      // Invalid encodings (producible only by a faulty HDCU) select no
+      // candidate: the AND-OR mux yields zero.
+      out.operand[c] = 0;
+    } else {
+      const u64 v = p.cand[s - 1];
+      out.operand[c] = p.high_half ? (v >> 32) : v;
+    }
+  }
+  return out;
+}
+
+}  // namespace detstl::cpu

@@ -1,0 +1,47 @@
+#pragma once
+// Forwarding Logic: the multiplexers feeding the EX operand ports (the
+// paper's "Forwarding Logic" module, graded in Table II). Separated from the
+// HDCU (which drives the select lines) exactly as in the target device:
+// "the Hazard Detection Unit is composed of a Hazard Detection Control Unit
+// and a Forwarding Logic".
+//
+// Values are carried as 64-bit lanes: 32-bit cores use the low word; core C
+// forwards whole pairs. A behavioural model and a gate-level netlist
+// (src/netlist/fwd_netlist.*) implement the same function.
+
+#include "cpu/hazard.h"
+
+namespace detstl::cpu {
+
+struct FwdPortIn {
+  u64 rf = 0;        // register-file read (pair for 64-bit consumers)
+  u64 cand[4] = {};  // EXMEM0, EXMEM1, MEMWB0, MEMWB1 results (zext for 32-bit)
+  FwdSel sel = FwdSel::kRegFile;
+  bool high_half = false;  // core C: take the candidate's high word
+
+  bool operator==(const FwdPortIn&) const = default;
+};
+
+struct FwdIn {
+  FwdPortIn port[4];  // slot0.rs1, slot0.rs2, slot1.rs1, slot1.rs2
+
+  bool operator==(const FwdIn&) const = default;
+};
+
+struct FwdOut {
+  u64 operand[4] = {};
+
+  bool operator==(const FwdOut&) const = default;
+};
+
+/// Golden behavioural forwarding mux.
+FwdOut fwd_behavioral(const FwdIn& in);
+
+/// Implementation hook (see HazardModel).
+class ForwardModel {
+ public:
+  virtual ~ForwardModel() = default;
+  virtual FwdOut eval(const FwdIn& in) = 0;
+};
+
+}  // namespace detstl::cpu

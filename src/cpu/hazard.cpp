@@ -1,0 +1,62 @@
+#include "cpu/hazard.h"
+
+namespace detstl::cpu {
+
+namespace {
+
+enum class Match : u8 { kNone, kFull, kHigh, kPartial };
+
+/// How does producer `p` relate to a consumer reading register `rs`
+/// (pair when cons64)?
+Match match(const HdcuProducer& p, u8 rs, bool cons64) {
+  if (!p.writes) return Match::kNone;
+  if (p.is64) {
+    if (cons64) return p.rd == rs ? Match::kFull : Match::kNone;
+    if (p.rd == rs) return Match::kFull;       // low word of the pair
+    if (p.rd + 1 == rs) return Match::kHigh;   // high word of the pair
+    return Match::kNone;
+  }
+  if (cons64) {
+    // 32-bit producer writing into a pair half: no pair-wide forward path
+    // exists — interlock until the value reaches the register file.
+    return (p.rd == rs || p.rd == rs + 1) ? Match::kPartial : Match::kNone;
+  }
+  return p.rd == rs ? Match::kFull : Match::kNone;
+}
+
+}  // namespace
+
+HdcuOut hdcu_behavioral(CoreKind kind, const HdcuIn& in) {
+  HdcuOut out;
+  // Producer scan order encodes the priority (younger first).
+  static constexpr struct {
+    unsigned idx;
+    FwdSel sel;
+  } kOrder[4] = {{1, FwdSel::kExMem1},
+                 {0, FwdSel::kExMem0},
+                 {3, FwdSel::kMemWb1},
+                 {2, FwdSel::kMemWb0}};
+
+  for (unsigned c = 0; c < 4; ++c) {
+    const HdcuConsumer& cons = in.cons[c];
+    if (!cons.used || cons.rs == 0) continue;  // r0 always reads zero from RF
+    for (const auto& ord : kOrder) {
+      const HdcuProducer& p = in.prod[ord.idx];
+      const Match m = match(p, cons.rs, cons.is64 && kind == CoreKind::kC);
+      if (m == Match::kNone) continue;
+      const bool dist1 = ord.idx < 2;  // EXMEM producers
+      if (m == Match::kPartial || (dist1 && p.is_load)) {
+        // Load-use at distance 1 or mixed-width overlap: one-cycle stall
+        // (after which the producer is in MEM/WB or the register file).
+        out.stall = true;
+      } else {
+        out.sel[c] = ord.sel;
+        out.high_half[c] = (m == Match::kHigh);
+      }
+      break;  // highest-priority (youngest) match decides this port
+    }
+  }
+  return out;
+}
+
+}  // namespace detstl::cpu

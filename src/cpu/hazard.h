@@ -1,0 +1,75 @@
+#pragma once
+// Hazard Detection Control Unit (HDCU) interface and behavioural model.
+//
+// The HDCU examines the issue packet entering EX and the producers in the
+// EX/MEM and MEM/WB latches of both pipes, and drives:
+//   * the forwarding-source select of each of the four EX operand ports,
+//   * the pipeline stall for load-use (and, on core C, mixed-width) hazards.
+//
+// The same computation exists twice: `hdcu_behavioral()` (golden, fast) and a
+// gate-level netlist (src/netlist/hdcu_netlist.*) whose structural faults are
+// graded in Table III. A CPU hook lets a campaign swap the implementation.
+//
+// Producer priority (younger wins): EXMEM1 > EXMEM0 > MEMWB1 > MEMWB0 > RF.
+// Slot 1 of a packet is younger than slot 0.
+
+#include "isa/events.h"
+
+namespace detstl::cpu {
+
+using isa::CoreKind;
+
+/// Forwarding-source selector values (also the netlist encoding).
+enum class FwdSel : u8 {
+  kRegFile = 0,
+  kExMem0 = 1,
+  kExMem1 = 2,
+  kMemWb0 = 3,
+  kMemWb1 = 4,
+};
+inline constexpr unsigned kNumFwdSources = 4;  // non-RF candidates
+
+/// One EX operand port (slot0.rs1, slot0.rs2, slot1.rs1, slot1.rs2).
+struct HdcuConsumer {
+  u8 rs = 0;
+  bool used = false;  // operand is a register read
+  bool is64 = false;  // reads an even/odd register pair (core C)
+};
+
+/// One producer latch entry (EXMEM0/1, MEMWB0/1).
+struct HdcuProducer {
+  u8 rd = 0;
+  bool writes = false;  // valid instruction that writes rd != r0
+  bool is64 = false;    // writes a register pair (core C)
+  bool is_load = false; // data not available at distance 1 (load-use hazard)
+};
+
+struct HdcuIn {
+  HdcuConsumer cons[4];
+  HdcuProducer prod[4];  // [0]=EXMEM0 [1]=EXMEM1 [2]=MEMWB0 [3]=MEMWB1
+
+  bool operator==(const HdcuIn&) const = default;
+};
+
+struct HdcuOut {
+  FwdSel sel[4] = {FwdSel::kRegFile, FwdSel::kRegFile, FwdSel::kRegFile,
+                   FwdSel::kRegFile};
+  bool high_half[4] = {};  // core C: take the producer's high 32-bit word
+  bool stall = false;      // hold the packet in EX for one cycle
+
+  bool operator==(const HdcuOut&) const = default;
+};
+
+/// Golden behavioural HDCU.
+HdcuOut hdcu_behavioral(CoreKind kind, const HdcuIn& in);
+
+/// Implementation hook: behavioural (default) or netlist-backed (fault
+/// campaigns install a faulty netlist here). Implementations are owned by
+/// the campaign, never by the CPU.
+class HazardModel {
+ public:
+  virtual ~HazardModel() = default;
+  virtual HdcuOut eval(const HdcuIn& in) = 0;
+};
+
+}  // namespace detstl::cpu

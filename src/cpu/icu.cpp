@@ -1,0 +1,43 @@
+#include "cpu/icu.h"
+
+namespace detstl::cpu {
+
+int icu_select(u8 pending, u8 mie) {
+  const u8 active = pending & mie;
+  for (unsigned s = 0; s < isa::kNumIcuSources; ++s)
+    if (active & (1u << s)) return static_cast<int>(s);
+  return -1;
+}
+
+u8 IcuState::next_pending(const IcuIn& in) const {
+  // Set dominates clear, consistently with the combinational view.
+  u8 p = static_cast<u8>((pending_ | in.events) & ~(in.clear & ~in.events));
+  if (in.ack) {
+    const int sel = icu_select(p, in.mie);
+    if (sel >= 0) p &= static_cast<u8>(~(1u << sel));
+  }
+  return p & ((1u << isa::kNumIcuSources) - 1);
+}
+
+IcuOut IcuState::eval(const IcuIn& in) {
+  // Combinational view sees events raised this cycle (set dominates clear).
+  const u8 p = static_cast<u8>((pending_ | in.events) & ~(in.clear & ~in.events));
+  IcuOut out;
+  out.pending = p & ((1u << isa::kNumIcuSources) - 1);
+  const int sel = icu_select(out.pending, in.mie);
+  if (sel >= 0)
+    out.cause = static_cast<u8>(isa::map_cause(kind_, static_cast<IcuSource>(sel)));
+  // The request line is the synchronised (two-cycle-old) view.
+  out.irq = sync2_;
+  return out;
+}
+
+void IcuState::clock(const IcuIn& in) {
+  const u8 p = static_cast<u8>((pending_ | in.events) & ~(in.clear & ~in.events));
+  const bool raw_irq = icu_select(p & ((1u << isa::kNumIcuSources) - 1), in.mie) >= 0;
+  sync2_ = sync1_;
+  sync1_ = raw_irq;
+  pending_ = next_pending(in);
+}
+
+}  // namespace detstl::cpu

@@ -1,0 +1,87 @@
+#pragma once
+// Interrupt Control Unit: synchronous imprecise interrupts (paper Sec. IV,
+// Table III). Events are flagged at WB of the causing instruction; the
+// request is recognised at the next issue boundary after the pipeline
+// drains, a *variable* number of retired instructions later.
+//
+// Cause-register mapping differs per core: A/B fold the four sources onto
+// two shared cause bits (masking some fault effects), C reports four
+// distinct bits — reproducing the ~10% ICU coverage gap of Sec. IV-D.
+//
+// Sequential semantics per cycle:
+//   out  = f(state, in)      -- combinational read
+//   state' = g(state, in)    -- clock edge
+// The behavioural IcuState below implements both; the netlist version
+// (src/netlist/icu_netlist.*) mirrors it gate-for-gate with DFFs.
+
+#include "isa/events.h"
+
+namespace detstl::cpu {
+
+using isa::CoreKind;
+using isa::IcuSource;
+
+struct IcuIn {
+  u8 events = 0;      // per-source set strobes raised at WB this cycle
+  u8 mie = 0;         // enable mask (CSR kMie)
+  bool ack = false;   // recognition consumed the highest-priority request
+  u8 clear = 0;       // write-1-to-clear strobes (CSR kMip write)
+
+  bool operator==(const IcuIn&) const = default;
+};
+
+struct IcuOut {
+  bool irq = false;  // request line to the issue stage
+  u8 cause = 0;      // mapped cause bits of the highest-priority enabled source
+  u8 pending = 0;    // raw pending bits (CSR kMip read)
+
+  bool operator==(const IcuOut&) const = default;
+};
+
+/// Implementation hook (see HazardModel). `eval` is the combinational read;
+/// `clock` commits the state update for the same inputs.
+/// The IRQ line passes through a two-stage synchroniser (DFFs in the
+/// netlist), so recognition lags the event by two extra cycles — the window
+/// in which further instructions issue and further events may coincide.
+class IcuModel {
+ public:
+  virtual ~IcuModel() = default;
+  virtual IcuOut eval(const IcuIn& in) = 0;
+  virtual void clock(const IcuIn& in) = 0;
+  /// Restore internal state (checkpoint resume in fault campaigns);
+  /// bits 0-3 = pending, bit 4 = sync stage 1, bit 5 = sync stage 2.
+  virtual void load_state(u16 state) = 0;
+};
+
+/// Highest-priority (lowest-index) pending-and-enabled source, or -1.
+int icu_select(u8 pending, u8 mie);
+
+/// Golden behavioural ICU.
+class IcuState final : public IcuModel {
+ public:
+  explicit IcuState(CoreKind kind) : kind_(kind) {}
+
+  IcuOut eval(const IcuIn& in) override;
+  void clock(const IcuIn& in) override;
+  void load_state(u16 state) override {
+    pending_ = state & 0xf;
+    sync1_ = (state >> 4) & 1;
+    sync2_ = (state >> 5) & 1;
+  }
+
+  u8 pending() const { return pending_; }
+  /// Packed state for checkpoint restore into netlist models.
+  u16 state() const {
+    return static_cast<u16>(pending_ | (sync1_ << 4) | (sync2_ << 5));
+  }
+
+ private:
+  u8 next_pending(const IcuIn& in) const;
+
+  CoreKind kind_;
+  u8 pending_ = 0;
+  bool sync1_ = false;
+  bool sync2_ = false;
+};
+
+}  // namespace detstl::cpu

@@ -1,0 +1,20 @@
+#pragma once
+// Architected performance counters (the paper's Table I observables and the
+// stall counters used by the HDCU self-test routine of [19]).
+
+#include "common/bitutil.h"
+
+namespace detstl::cpu {
+
+struct PerfCounters {
+  u64 cycles = 0;
+  u64 instret = 0;
+  u64 if_stalls = 0;    // issue cycles starved for instructions (Table I col 2)
+  u64 mem_stalls = 0;   // MEM-stage wait cycles (Table I col 3)
+  u64 hdcu_stalls = 0;  // stall cycles inserted by the hazard unit
+  u64 splits = 0;       // issue packets serialised by the HDCU
+
+  void clear() { *this = PerfCounters{}; }
+};
+
+}  // namespace detstl::cpu

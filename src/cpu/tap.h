@@ -1,0 +1,32 @@
+#pragma once
+// Observation hook: the fault-simulation campaign installs a tap to record
+// per-cycle module inputs/outputs (for excitation replay) and the
+// signature-register write sequence (for detection early-exit). The tap is
+// non-owning; the CPU never deletes it, and SoC checkpoint copies carry the
+// pointer verbatim (the campaign re-installs its own after restore).
+
+#include "cpu/forward.h"
+#include "cpu/hazard.h"
+#include "cpu/icu.h"
+
+namespace detstl::cpu {
+
+class ModuleTap {
+ public:
+  virtual ~ModuleTap() = default;
+  virtual void on_hdcu(u64 cycle, const HdcuIn& in, const HdcuOut& out) {
+    (void)cycle; (void)in; (void)out;
+  }
+  virtual void on_fwd(u64 cycle, const FwdIn& in, const FwdOut& out) {
+    (void)cycle; (void)in; (void)out;
+  }
+  virtual void on_icu(u64 cycle, const IcuIn& in, const IcuOut& out) {
+    (void)cycle; (void)in; (void)out;
+  }
+  /// Architectural register write at WB.
+  virtual void on_wb(u64 cycle, unsigned rd, u32 value) {
+    (void)cycle; (void)rd; (void)value;
+  }
+};
+
+}  // namespace detstl::cpu

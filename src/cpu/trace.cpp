@@ -1,0 +1,67 @@
+#include "cpu/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace detstl::cpu {
+
+u64 TraceRecorder::on_issue(u64 cycle, u32 pc, unsigned pipe, std::string text) {
+  TraceInstr ti;
+  ti.id = instrs_.size();
+  ti.pc = pc;
+  ti.pipe = pipe;
+  ti.text = std::move(text);
+  ti.stage_cycle[static_cast<unsigned>(Stage::kIssue)] = cycle;
+  instrs_.push_back(std::move(ti));
+  return instrs_.back().id;
+}
+
+void TraceRecorder::on_stage(u64 id, Stage stage, u64 cycle) {
+  if (id < instrs_.size()) instrs_[id].stage_cycle[static_cast<unsigned>(stage)] = cycle;
+}
+
+std::string TraceRecorder::render(u64 from_cycle, u64 to_cycle) const {
+  // Determine the cycle window covered by the recorded instructions.
+  u64 lo = ~0ull, hi = 0;
+  for (const auto& ti : instrs_) {
+    for (u64 c : ti.stage_cycle) {
+      if (c == 0) continue;
+      lo = std::min(lo, c);
+      hi = std::max(hi, c);
+    }
+  }
+  if (lo == ~0ull) return "(empty trace)\n";
+  lo = std::max(lo, from_cycle);
+  hi = std::min(hi, to_cycle);
+  if (hi < lo) return "(empty window)\n";
+
+  std::ostringstream os;
+  os << "cycle             ";
+  for (u64 c = lo; c <= hi; ++c) os << static_cast<char>('0' + c % 10);
+  os << '\n';
+
+  static constexpr char kLetters[4] = {'I', 'E', 'M', 'W'};
+  for (const auto& ti : instrs_) {
+    const u64 issue = ti.stage_cycle[0];
+    if (issue == 0 || issue > hi) continue;
+    char line_pc[16];
+    std::snprintf(line_pc, sizeof line_pc, "%08x", ti.pc);
+    std::string row(hi - lo + 1, ' ');
+    u64 prev = 0;
+    for (unsigned s = 0; s < 4; ++s) {
+      const u64 c = ti.stage_cycle[s];
+      if (c < lo || c > hi || c == 0) continue;
+      row[c - lo] = kLetters[s];
+      // Mark stall bubbles between consecutive stages.
+      if (prev != 0 && c > prev + 1) {
+        for (u64 b = prev + 1; b < c; ++b)
+          if (b >= lo && b <= hi && row[b - lo] == ' ') row[b - lo] = '-';
+      }
+      prev = c;
+    }
+    os << line_pc << "  " << row << "  " << ti.text << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace detstl::cpu

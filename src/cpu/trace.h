@@ -1,0 +1,46 @@
+#pragma once
+// Pipeline-occupancy trace recorder and ASCII renderer, used to reproduce the
+// paper's Figure 1 (forwarding path excited vs. broken by fetch stalls).
+
+#include <string>
+#include <vector>
+
+#include "common/bitutil.h"
+
+namespace detstl::cpu {
+
+enum class Stage : u8 { kIssue, kEx, kMem, kWb };
+
+struct TraceInstr {
+  u64 id = 0;        // issue-order instance id
+  u32 pc = 0;
+  unsigned pipe = 0; // slot within the issue packet
+  std::string text;  // disassembly
+  // cycle at which the instruction occupied each stage (0 = never)
+  u64 stage_cycle[4] = {};
+};
+
+class TraceRecorder {
+ public:
+  void enable(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+  void clear() { instrs_.clear(); }
+
+  /// Called by the CPU at issue; returns the instance id.
+  u64 on_issue(u64 cycle, u32 pc, unsigned pipe, std::string text);
+  /// Called when instance `id` occupies `stage` at `cycle`.
+  void on_stage(u64 id, Stage stage, u64 cycle);
+
+  const std::vector<TraceInstr>& instrs() const { return instrs_; }
+
+  /// Render a Figure-1-style pipeline diagram. Each row is an instruction;
+  /// columns are clock cycles; letters mark the stage occupied (I/E/M/W,
+  /// '-' for stall cycles in between).
+  std::string render(u64 from_cycle = 0, u64 to_cycle = ~0ull) const;
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceInstr> instrs_;
+};
+
+}  // namespace detstl::cpu

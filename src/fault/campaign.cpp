@@ -1,0 +1,285 @@
+#include "fault/campaign.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace detstl::fault {
+
+const char* module_name(Module m) {
+  switch (m) {
+    case Module::kFwd: return "forwarding-logic";
+    case Module::kHdcu: return "hdcu";
+    case Module::kIcu: return "icu";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Records the graded module's input trace and the r29 write sequence.
+class RecorderTap final : public cpu::ModuleTap {
+ public:
+  explicit RecorderTap(Module which) : which_(which) {}
+
+  void on_hdcu(u64, const cpu::HdcuIn& in, const cpu::HdcuOut&) override {
+    if (which_ == Module::kHdcu) hdcu_.push_back(in);
+  }
+  void on_fwd(u64, const cpu::FwdIn& in, const cpu::FwdOut&) override {
+    if (which_ == Module::kFwd) fwd_.push_back(in);
+  }
+  void on_icu(u64, const cpu::IcuIn& in, const cpu::IcuOut&) override {
+    if (which_ == Module::kIcu) icu_.push_back(in);
+  }
+  void on_wb(u64, unsigned rd, u32 v) override {
+    if (rd == 29) r29_.push_back(v);
+    // Execution-loop marker: the wrapper's loop counter reaching 1 ends the
+    // loading loop (see CampaignConfig::signature_from_marker).
+    if (rd == 30 && v == 1 && marker_idx_ == SIZE_MAX) marker_idx_ = r29_.size();
+  }
+
+  std::size_t calls() const {
+    switch (which_) {
+      case Module::kFwd: return fwd_.size();
+      case Module::kHdcu: return hdcu_.size();
+      case Module::kIcu: return icu_.size();
+    }
+    return 0;
+  }
+
+  const std::vector<cpu::HdcuIn>& hdcu() const { return hdcu_; }
+  const std::vector<cpu::FwdIn>& fwd() const { return fwd_; }
+  const std::vector<cpu::IcuIn>& icu() const { return icu_; }
+  const std::vector<u32>& r29() const { return r29_; }
+  /// Index into r29() where the execution loop's writes start (SIZE_MAX if
+  /// the marker never appeared — plain/TCM wrappers have no loading loop).
+  std::size_t marker_idx() const { return marker_idx_; }
+
+ private:
+  Module which_;
+  std::vector<cpu::HdcuIn> hdcu_;
+  std::vector<cpu::FwdIn> fwd_;
+  std::vector<cpu::IcuIn> icu_;
+  std::vector<u32> r29_;
+  std::size_t marker_idx_ = SIZE_MAX;
+};
+
+/// Compares the faulty run's checked signature writes against the good
+/// sequence. Two soundness rules:
+///  * in marker mode, comparison is armed only once the execution loop starts
+///    (loading-loop signatures are architecturally discarded);
+///  * a divergence must persist for kPersist consecutive writes before the
+///    run is cut short — a MISR stream can transiently diverge and
+///    reconverge (aligned double errors), in which case the final verdict
+///    decides.
+class CompareTap final : public cpu::ModuleTap {
+ public:
+  static constexpr unsigned kPersist = 8;
+
+  /// `start` is the resume position in the good trace (checkpoint), `arm_at`
+  /// the index where checked writes begin (0 for plain/TCM wrappers).
+  CompareTap(const std::vector<u32>& good, std::size_t start, std::size_t arm_at)
+      : good_(&good), idx_(start), arm_at_(arm_at), armed_(start >= arm_at) {}
+
+  void on_wb(u64, unsigned rd, u32 v) override {
+    if (!armed_) {
+      // Waiting for the execution-loop marker; the good-trace index realigns
+      // to the execution loop's start regardless of loading-loop drift.
+      if (rd == 30 && v == 1) {
+        idx_ = arm_at_;
+        armed_ = true;
+      }
+      return;
+    }
+    if (rd != 29) return;
+    const bool match = idx_ < good_->size() && (*good_)[idx_] == v;
+    ++idx_;
+    diverged_run_ = match ? 0 : diverged_run_ + 1;
+  }
+
+  /// Persistent signature divergence observed.
+  bool detected() const { return diverged_run_ >= kPersist; }
+
+ private:
+  const std::vector<u32>* good_;
+  std::size_t idx_;
+  std::size_t arm_at_;
+  bool armed_;
+  unsigned diverged_run_ = 0;
+};
+
+struct Checkpoint {
+  soc::Soc soc;
+  std::size_t call_idx;
+  std::size_t r29_idx;
+};
+
+}  // namespace
+
+Campaign::Campaign(const CampaignConfig& cfg, SocFactory factory)
+    : cfg_(cfg), factory_(std::move(factory)) {}
+
+CampaignResult Campaign::run() {
+  const u32 mailbox = cfg_.mailbox != 0 ? cfg_.mailbox : soc::mailbox_addr(cfg_.core_id);
+  CampaignResult res;
+
+  // Module netlist for the graded core's physical-design instance.
+  std::optional<netlist::FwdNetlist> fwd_mod;
+  std::optional<netlist::HdcuNetlist> hdcu_mod;
+  std::optional<netlist::IcuNetlist> icu_mod;
+  const netlist::Netlist* nl = nullptr;
+  const std::vector<netlist::NetId>* outs = nullptr;
+  switch (cfg_.module) {
+    case Module::kFwd:
+      fwd_mod.emplace(cfg_.kind);
+      nl = &fwd_mod->nl();
+      outs = &fwd_mod->outputs();
+      break;
+    case Module::kHdcu:
+      hdcu_mod.emplace(cfg_.kind);
+      nl = &hdcu_mod->nl();
+      outs = &hdcu_mod->outputs();
+      break;
+    case Module::kIcu:
+      icu_mod.emplace(cfg_.kind);
+      nl = &icu_mod->nl();
+      outs = &icu_mod->outputs();
+      break;
+  }
+
+  // --- Phase 0: good run with trace recording + checkpoints ---------------------
+  RecorderTap rec(cfg_.module);
+  soc::Soc good = factory_();
+  good.reset();
+  good.core(cfg_.core_id).hooks().tap = &rec;
+
+  std::vector<Checkpoint> cps;
+  cps.push_back(Checkpoint{good, 0, 0});
+  while (!good.core(cfg_.core_id).halted()) {
+    if (good.now() >= cfg_.max_cycles)
+      throw std::runtime_error("fault campaign: good run exceeded max_cycles");
+    good.tick();
+    if (good.now() % cfg_.checkpoint_every == 0)
+      cps.push_back(Checkpoint{good, rec.calls(), rec.r29().size()});
+  }
+  res.good_cycles = good.now();
+  res.good_verdict = core::read_verdict(good, mailbox);
+  if (res.good_verdict.status != soc::kStatusPass)
+    throw std::runtime_error("fault campaign: fault-free run did not pass");
+
+  const std::size_t ncalls = rec.calls();
+
+  // --- Fault list (deterministically sampled) -------------------------------------
+  // The collapsed list interleaves SA0/SA1 per net; sampling strides over
+  // NETS and keeps both polarities of each sampled net, so no polarity bias.
+  const std::vector<netlist::Fault> all_faults = nl->fault_list();
+  res.total_faults = all_faults.size();
+  std::vector<netlist::Fault> faults;
+  for (std::size_t i = 0; i < all_faults.size(); ++i)
+    if ((i / 2) % cfg_.fault_stride == 0) faults.push_back(all_faults[i]);
+  res.simulated_faults = faults.size();
+
+  // --- Phase 1: 64-lane excitation screening --------------------------------------
+  constexpr unsigned kLanes = 63;  // lane 63 = fault-free reference
+  std::vector<std::size_t> first_div(faults.size(), SIZE_MAX);
+
+  for (std::size_t base = 0; base < faults.size(); base += kLanes) {
+    const unsigned n = static_cast<unsigned>(std::min<std::size_t>(kLanes, faults.size() - base));
+    netlist::EvalState st = nl->make_state();
+    for (unsigned j = 0; j < n; ++j)
+      netlist::Netlist::inject(st, faults[base + j], 1ull << j);
+    u64 alive = n == 64 ? ~0ull : ((1ull << n) - 1);
+
+    for (std::size_t c = 0; c < ncalls && alive != 0; ++c) {
+      switch (cfg_.module) {
+        case Module::kFwd: fwd_mod->encode(rec.fwd()[c], st); break;
+        case Module::kHdcu: hdcu_mod->encode(rec.hdcu()[c], st); break;
+        case Module::kIcu: icu_mod->encode(rec.icu()[c], st); break;
+      }
+      nl->eval(st);
+      u64 diff = 0;
+      for (netlist::NetId o : *outs) {
+        const u64 v = st.value[o];
+        const u64 ref = (v >> 63) & 1 ? ~0ull : 0ull;  // replicate lane 63
+        diff |= v ^ ref;
+      }
+      diff &= alive;
+      while (diff != 0) {
+        const unsigned lane = static_cast<unsigned>(__builtin_ctzll(diff));
+        diff &= diff - 1;
+        alive &= ~(1ull << lane);
+        first_div[base + lane] = c;
+      }
+      if (cfg_.module == Module::kIcu) nl->clock(st);
+    }
+  }
+
+  // --- Phase 2: serial detection of excited faults --------------------------------
+  res.outcomes.assign(faults.size(), FaultOutcome::kNotExcited);
+  const u64 watchdog = res.good_cycles * 2 + 10'000;
+
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (first_div[i] == SIZE_MAX) continue;
+    ++res.excited;
+
+    // Latest checkpoint at or before the first divergent module call.
+    const Checkpoint* cp = &cps.front();
+    for (const auto& c : cps) {
+      if (c.call_idx <= first_div[i]) cp = &c;
+      else break;
+    }
+
+    soc::Soc s = cp->soc;
+    const std::size_t arm_at = cfg_.signature_from_marker ? rec.marker_idx() : 0;
+    CompareTap cmp(rec.r29(), cp->r29_idx, arm_at);
+    cpu::CpuHooks hooks;
+    hooks.tap = &cmp;
+    std::optional<netlist::NetlistForward> fw;
+    std::optional<netlist::NetlistHazard> hz;
+    std::optional<netlist::NetlistIcu> ni;
+    switch (cfg_.module) {
+      case Module::kFwd:
+        fw.emplace(*fwd_mod);
+        fw->set_fault(faults[i]);
+        hooks.fwd = &*fw;
+        break;
+      case Module::kHdcu:
+        hz.emplace(*hdcu_mod);
+        hz->set_fault(faults[i]);
+        hooks.hazard = &*hz;
+        break;
+      case Module::kIcu:
+        ni.emplace(*icu_mod);
+        ni->set_fault(faults[i]);
+        ni->load_state(s.core(cfg_.core_id).icu_state().state());
+        hooks.icu = &*ni;
+        break;
+    }
+    s.core(cfg_.core_id).hooks() = hooks;
+
+    while (!s.core(cfg_.core_id).halted() && !cmp.detected() && s.now() < watchdog)
+      s.tick();
+
+    FaultOutcome out;
+    if (cmp.detected()) {
+      out = FaultOutcome::kDetectedSignature;
+      ++res.detected_signature;
+    } else if (!s.core(cfg_.core_id).halted()) {
+      out = FaultOutcome::kDetectedWatchdog;
+      ++res.detected_watchdog;
+    } else {
+      const core::TestVerdict v = core::read_verdict(s, mailbox);
+      if (v.status != res.good_verdict.status || v.signature != res.good_verdict.signature) {
+        out = FaultOutcome::kDetectedVerdict;
+        ++res.detected_verdict;
+      } else {
+        out = FaultOutcome::kUndetected;
+      }
+    }
+    if (out != FaultOutcome::kUndetected) ++res.detected;
+    res.outcomes[i] = out;
+  }
+  return res;
+}
+
+}  // namespace detstl::fault

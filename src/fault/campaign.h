@@ -1,0 +1,96 @@
+#pragma once
+// Stuck-at fault-simulation campaign over one graded module of one core
+// (DESIGN.md Sec. 6):
+//
+//  1. Good run. The scenario executes with behavioural models; a tap records
+//     the graded module's per-call input trace, the signature-register (r29)
+//     write sequence, the final mailbox verdict, and periodic full-SoC
+//     checkpoints (the SoC is a value type).
+//  2. Excitation screening. The input trace is replayed through the gate-level
+//     netlist with 64 lanes per word: 63 faulty machines + 1 fault-free
+//     reference lane. A fault whose outputs never diverge is undetected
+//     (never excited). Sound because a stuck-at inside the module cannot
+//     influence the module's own inputs before its outputs first diverge.
+//  3. Detection. Each excited fault is re-simulated from the last checkpoint
+//     preceding its first divergence, with the faulty netlist installed as
+//     the module implementation. Early exit on the first r29 write that
+//     differs from the good sequence; otherwise the final mailbox verdict is
+//     compared; a watchdog timeout counts as detected (in-field behaviour).
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/wrapper.h"
+#include "netlist/adapters.h"
+#include "soc/soc.h"
+
+namespace detstl::fault {
+
+enum class Module : u8 { kFwd, kHdcu, kIcu };
+
+const char* module_name(Module m);
+
+struct CampaignConfig {
+  Module module = Module::kFwd;
+  unsigned core_id = 0;  // core under grade
+  isa::CoreKind kind = isa::CoreKind::kA;
+  u32 mailbox = 0;       // 0 = soc::mailbox_addr(core_id)
+  u64 max_cycles = 20'000'000;  // good-run bound
+  u32 checkpoint_every = 4096;  // cycles between checkpoints
+  /// Simulate every Nth fault of the collapsed list (deterministic sampling
+  /// speed knob for the benches; 1 = exhaustive).
+  u32 fault_stride = 1;
+  /// Cache-based wrapper: signature writes before the execution loop (the
+  /// loading loop) are architecturally discarded by the re-seed and must not
+  /// count as detections. The iteration boundary is identified by the loop
+  /// counter (r30) reaching 1.
+  bool signature_from_marker = false;
+};
+
+/// The scenario under grade: builds a fresh SoC with all programs loaded and
+/// boot addresses set (reset() not yet called). Must be deterministic.
+using SocFactory = std::function<soc::Soc()>;
+
+enum class FaultOutcome : u8 {
+  kNotExcited,         // outputs never diverged
+  kDetectedSignature,  // r29 write sequence diverged
+  kDetectedVerdict,    // final mailbox (status, signature) mismatch
+  kDetectedWatchdog,   // faulty run exceeded the watchdog
+  kUndetected,         // excited, but signature and verdict unchanged
+};
+
+struct CampaignResult {
+  u64 total_faults = 0;     // collapsed list size (before sampling)
+  u64 simulated_faults = 0; // after sampling
+  u64 excited = 0;
+  u64 detected = 0;
+  u64 detected_signature = 0;
+  u64 detected_verdict = 0;
+  u64 detected_watchdog = 0;
+  u64 good_cycles = 0;      // graded core cycles, reset -> halt
+  core::TestVerdict good_verdict;
+  std::vector<FaultOutcome> outcomes;  // per simulated fault
+
+  /// Fault coverage over the sampled fault population, in percent.
+  double coverage_percent() const {
+    return simulated_faults == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(detected) /
+                     static_cast<double>(simulated_faults);
+  }
+};
+
+class Campaign {
+ public:
+  Campaign(const CampaignConfig& cfg, SocFactory factory);
+
+  /// Run the full two-phase campaign.
+  CampaignResult run();
+
+ private:
+  CampaignConfig cfg_;
+  SocFactory factory_;
+};
+
+}  // namespace detstl::fault

@@ -1,0 +1,154 @@
+#include "isa/alu.h"
+
+#include <cassert>
+#include <limits>
+
+namespace detstl::isa {
+
+AluResult alu32(Op op, u32 a, u32 b) {
+  AluResult r;
+  const i32 sa = static_cast<i32>(a);
+  const i32 sb = static_cast<i32>(b);
+  switch (op) {
+    case Op::kAdd: case Op::kAddi:
+      r.value = a + b;
+      break;
+    case Op::kAddv:
+      r.value = a + b;
+      r.overflow = ((~(a ^ b)) & (a ^ r.value)) >> 31;
+      break;
+    case Op::kSub:
+      r.value = a - b;
+      break;
+    case Op::kSubv:
+      r.value = a - b;
+      r.overflow = ((a ^ b) & (a ^ r.value)) >> 31;
+      break;
+    case Op::kAnd: case Op::kAndi:
+      r.value = a & b;
+      break;
+    case Op::kOr: case Op::kOri:
+      r.value = a | b;
+      break;
+    case Op::kXor: case Op::kXori:
+      r.value = a ^ b;
+      break;
+    case Op::kNor:
+      r.value = ~(a | b);
+      break;
+    case Op::kSlt: case Op::kSlti:
+      r.value = sa < sb ? 1 : 0;
+      break;
+    case Op::kSltu: case Op::kSltiu:
+      r.value = a < b ? 1 : 0;
+      break;
+    case Op::kSll: case Op::kSlli:
+      r.value = a << (b & 31u);
+      break;
+    case Op::kSrl: case Op::kSrli:
+      r.value = a >> (b & 31u);
+      break;
+    case Op::kSra: case Op::kSrai:
+      r.value = static_cast<u32>(sa >> (b & 31u));
+      break;
+    case Op::kMul:
+      r.value = a * b;
+      break;
+    case Op::kMulh:
+      r.value = static_cast<u32>(
+          (static_cast<i64>(sa) * static_cast<i64>(sb)) >> 32);
+      break;
+    case Op::kDiv:
+      if (b == 0) {
+        r.value = 0xffffffffu;
+        r.div_by_zero = true;
+      } else if (sa == std::numeric_limits<i32>::min() && sb == -1) {
+        r.value = a;  // overflow case: quotient saturates to dividend
+      } else {
+        r.value = static_cast<u32>(sa / sb);
+      }
+      break;
+    case Op::kDivu:
+      if (b == 0) {
+        r.value = 0xffffffffu;
+        r.div_by_zero = true;
+      } else {
+        r.value = a / b;
+      }
+      break;
+    case Op::kRem:
+      if (b == 0) {
+        r.value = a;
+        r.div_by_zero = true;
+      } else if (sa == std::numeric_limits<i32>::min() && sb == -1) {
+        r.value = 0;
+      } else {
+        r.value = static_cast<u32>(sa % sb);
+      }
+      break;
+    case Op::kLui:
+      r.value = b << 16;
+      break;
+    default:
+      assert(false && "alu32: not an ALU op");
+      break;
+  }
+  return r;
+}
+
+Alu64Result alu64(Op op, u64 a, u64 b) {
+  Alu64Result r;
+  switch (op) {
+    case Op::kAdd64:
+      r.value = a + b;
+      break;
+    case Op::kAddv64:
+      r.value = a + b;
+      r.overflow = ((~(a ^ b)) & (a ^ r.value)) >> 63;
+      break;
+    case Op::kSub64:
+      r.value = a - b;
+      break;
+    case Op::kAnd64:
+      r.value = a & b;
+      break;
+    case Op::kOr64:
+      r.value = a | b;
+      break;
+    case Op::kXor64:
+      r.value = a ^ b;
+      break;
+    case Op::kSlt64:
+      r.value = static_cast<i64>(a) < static_cast<i64>(b) ? 1 : 0;
+      break;
+    case Op::kSll64:
+      r.value = a << (b & 63u);
+      break;
+    case Op::kSrl64:
+      r.value = a >> (b & 63u);
+      break;
+    case Op::kSra64:
+      r.value = static_cast<u64>(static_cast<i64>(a) >> (b & 63u));
+      break;
+    default:
+      assert(false && "alu64: not an R64 op");
+      break;
+  }
+  return r;
+}
+
+bool branch_taken(Op op, u32 a, u32 b) {
+  switch (op) {
+    case Op::kBeq: return a == b;
+    case Op::kBne: return a != b;
+    case Op::kBlt: return static_cast<i32>(a) < static_cast<i32>(b);
+    case Op::kBge: return static_cast<i32>(a) >= static_cast<i32>(b);
+    case Op::kBltu: return a < b;
+    case Op::kBgeu: return a >= b;
+    default:
+      assert(false && "branch_taken: not a branch op");
+      return false;
+  }
+}
+
+}  // namespace detstl::isa

@@ -1,0 +1,32 @@
+#pragma once
+// Architectural ALU semantics, shared by the functional reference executor and
+// the pipeline's EX stage so the two models cannot diverge on arithmetic.
+
+#include "isa/isa.h"
+
+namespace detstl::isa {
+
+/// Result of a 32-bit ALU evaluation.
+struct AluResult {
+  u32 value = 0;
+  bool overflow = false;    // signed overflow (kAddv/kSubv)
+  bool div_by_zero = false; // kDiv/kDivu/kRem with zero divisor
+};
+
+/// Result of a 64-bit (R64 group) ALU evaluation.
+struct Alu64Result {
+  u64 value = 0;
+  bool overflow = false;  // signed-64 overflow (kAddv64)
+};
+
+/// Evaluate a 32-bit ALU/MULDIV op. `b` is the rs2 value or the decoded
+/// immediate for I-type forms.
+AluResult alu32(Op op, u32 a, u32 b);
+
+/// Evaluate an R64-group op on 64-bit pair operands.
+Alu64Result alu64(Op op, u64 a, u64 b);
+
+/// Evaluate a conditional-branch predicate.
+bool branch_taken(Op op, u32 a, u32 b);
+
+}  // namespace detstl::isa

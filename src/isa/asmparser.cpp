@@ -1,0 +1,336 @@
+#include "isa/asmparser.h"
+
+#include <cctype>
+#include <optional>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "isa/assembler.h"
+
+namespace detstl::isa {
+
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+/// Split one logical line into comma/whitespace-separated operand tokens,
+/// keeping "off(base)" forms intact.
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : line) {
+    if (ch == ',' || std::isspace(static_cast<unsigned char>(ch))) {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+class Parser {
+ public:
+  /// Standalone mode: owns the assembler. Fragment mode: emits into an
+  /// external assembler with every label prefixed.
+  Parser(std::string_view source, u32 origin)
+      : src_(source), owned_(std::in_place, origin), a_(&*owned_) {}
+  Parser(std::string_view source, Assembler& into, std::string prefix)
+      : src_(source), a_(&into), prefix_(std::move(prefix)), fragment_(true) {}
+
+  void parse_all() {
+    unsigned lineno = 0;
+    std::size_t pos = 0;
+    while (pos <= src_.size()) {
+      const std::size_t nl = src_.find('\n', pos);
+      std::string_view line = src_.substr(
+          pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos);
+      ++lineno;
+      parse_line(line, lineno);
+      if (nl == std::string_view::npos) break;
+      pos = nl + 1;
+    }
+  }
+
+  Program run() {
+    parse_all();
+    try {
+      return a_->assemble();
+    } catch (const AsmError& e) {
+      throw ParseError(0, e.what());
+    }
+  }
+
+ private:
+  void parse_line(std::string_view line, unsigned ln) {
+    // Strip comments.
+    for (const char c : {';', '#'}) {
+      const auto p = line.find(c);
+      if (p != std::string_view::npos) line = line.substr(0, p);
+    }
+    auto toks = tokenize(line);
+    if (toks.empty()) return;
+
+    // Leading labels (possibly several on one line).
+    while (!toks.empty() && toks.front().back() == ':') {
+      const std::string name = toks.front().substr(0, toks.front().size() - 1);
+      if (name.empty()) throw ParseError(ln, "empty label");
+      guarded(ln, [&] { a_->label(prefix_ + name); });
+      toks.erase(toks.begin());
+    }
+    if (toks.empty()) return;
+
+    const std::string op = lower(toks[0]);
+    std::vector<std::string> args(toks.begin() + 1, toks.end());
+    if (op[0] == '.') {
+      if (fragment_ && (op == ".org" || op == ".entry"))
+        throw ParseError(ln, "'" + op + "' not allowed in a fragment");
+      directive(op, args, ln);
+    } else {
+      instruction(op, args, ln);
+    }
+  }
+
+  static std::string lower(std::string s) {
+    for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+  }
+
+  template <typename F>
+  void guarded(unsigned ln, F&& f) {
+    try {
+      f();
+    } catch (const AsmError& e) {
+      throw ParseError(ln, e.what());
+    }
+  }
+
+  Reg reg(const std::string& t, unsigned ln) const {
+    if (t.size() < 2 || (t[0] != 'r' && t[0] != 'R'))
+      throw ParseError(ln, "expected register, got '" + t + "'");
+    char* end = nullptr;
+    const long v = std::strtol(t.c_str() + 1, &end, 10);
+    if (*end != '\0' || v < 0 || v >= static_cast<long>(kNumRegs))
+      throw ParseError(ln, "bad register '" + t + "'");
+    return static_cast<Reg>(v);
+  }
+
+  i64 imm(const std::string& t, unsigned ln) const {
+    char* end = nullptr;
+    const long long v = std::strtoll(t.c_str(), &end, 0);  // base 0: dec/hex/oct
+    if (end == t.c_str() || *end != '\0')
+      throw ParseError(ln, "expected immediate, got '" + t + "'");
+    return v;
+  }
+
+  bool looks_numeric(const std::string& t) const {
+    return !t.empty() && (std::isdigit(static_cast<unsigned char>(t[0])) ||
+                          t[0] == '-' || t[0] == '+');
+  }
+
+  /// "off(base)" -> (offset, base register).
+  std::pair<i32, Reg> mem_operand(const std::string& t, unsigned ln) const {
+    const auto open = t.find('(');
+    const auto close = t.find(')');
+    if (open == std::string::npos || close == std::string::npos || close < open)
+      throw ParseError(ln, "expected offset(base), got '" + t + "'");
+    const std::string off = t.substr(0, open);
+    const std::string base = t.substr(open + 1, close - open - 1);
+    return {static_cast<i32>(off.empty() ? 0 : imm(off, ln)), reg(base, ln)};
+  }
+
+  void expect_argc(const std::vector<std::string>& args, std::size_t n, unsigned ln) {
+    if (args.size() != n)
+      throw ParseError(ln, "expected " + std::to_string(n) + " operands, got " +
+                               std::to_string(args.size()));
+  }
+
+  void directive(const std::string& op, const std::vector<std::string>& args,
+                 unsigned ln) {
+    if (op == ".org") {
+      expect_argc(args, 1, ln);
+      a_->org(static_cast<u32>(imm(args[0], ln)));
+    } else if (op == ".align") {
+      expect_argc(args, 1, ln);
+      guarded(ln, [&] { a_->align(static_cast<u32>(imm(args[0], ln))); });
+    } else if (op == ".word") {
+      expect_argc(args, 1, ln);
+      if (looks_numeric(args[0])) {
+        a_->word(static_cast<u32>(imm(args[0], ln)));
+      } else {
+        a_->word_label(prefix_ + args[0]);
+      }
+    } else if (op == ".space") {
+      expect_argc(args, 1, ln);
+      a_->space(static_cast<u32>(imm(args[0], ln)));
+    } else if (op == ".entry") {
+      expect_argc(args, 1, ln);
+      a_->set_entry(prefix_ + args[0]);
+    } else {
+      throw ParseError(ln, "unknown directive '" + op + "'");
+    }
+  }
+
+  void instruction(const std::string& op, const std::vector<std::string>& args,
+                   unsigned ln) {
+    using A = Assembler;
+    // R-type three-register ops.
+    static const std::map<std::string, void (A::*)(Reg, Reg, Reg)> r3 = {
+        {"add", &A::add}, {"sub", &A::sub}, {"and", &A::and_}, {"or", &A::or_},
+        {"xor", &A::xor_}, {"nor", &A::nor_}, {"slt", &A::slt}, {"sltu", &A::sltu},
+        {"sll", &A::sll}, {"srl", &A::srl}, {"sra", &A::sra}, {"mul", &A::mul},
+        {"mulh", &A::mulh}, {"div", &A::div}, {"divu", &A::divu}, {"rem", &A::rem},
+        {"addv", &A::addv}, {"subv", &A::subv},
+        {"add64", &A::add64}, {"sub64", &A::sub64}, {"and64", &A::and64},
+        {"or64", &A::or64}, {"xor64", &A::xor64}, {"slt64", &A::slt64},
+        {"sll64", &A::sll64}, {"srl64", &A::srl64}, {"sra64", &A::sra64},
+        {"addv64", &A::addv64}};
+    if (auto it = r3.find(op); it != r3.end()) {
+      expect_argc(args, 3, ln);
+      guarded(ln, [&] { ((*a_).*it->second)(reg(args[0], ln), reg(args[1], ln),
+                                         reg(args[2], ln)); });
+      return;
+    }
+
+    // I-type signed-immediate ops.
+    static const std::map<std::string, void (A::*)(Reg, Reg, i32)> i3 = {
+        {"addi", &A::addi}, {"slti", &A::slti}};
+    if (auto it = i3.find(op); it != i3.end()) {
+      expect_argc(args, 3, ln);
+      guarded(ln, [&] { ((*a_).*it->second)(reg(args[0], ln), reg(args[1], ln),
+                                         static_cast<i32>(imm(args[2], ln))); });
+      return;
+    }
+    // I-type unsigned-immediate ops.
+    static const std::map<std::string, void (A::*)(Reg, Reg, u32)> u3 = {
+        {"andi", &A::andi}, {"ori", &A::ori}, {"xori", &A::xori},
+        {"sltiu", &A::sltiu}, {"slli", &A::slli}, {"srli", &A::srli},
+        {"srai", &A::srai}};
+    if (auto it = u3.find(op); it != u3.end()) {
+      expect_argc(args, 3, ln);
+      guarded(ln, [&] { ((*a_).*it->second)(reg(args[0], ln), reg(args[1], ln),
+                                         static_cast<u32>(imm(args[2], ln))); });
+      return;
+    }
+
+    // Loads / stores: op rX, off(base).
+    static const std::map<std::string, void (A::*)(Reg, Reg, i32)> loads = {
+        {"lw", &A::lw}, {"lh", &A::lh}, {"lhu", &A::lhu}, {"lb", &A::lb},
+        {"lbu", &A::lbu}};
+    if (auto it = loads.find(op); it != loads.end()) {
+      expect_argc(args, 2, ln);
+      const auto [off, base] = mem_operand(args[1], ln);
+      guarded(ln, [&] { ((*a_).*it->second)(reg(args[0], ln), base, off); });
+      return;
+    }
+    static const std::map<std::string, void (A::*)(Reg, Reg, i32)> stores = {
+        {"sw", &A::sw}, {"sh", &A::sh}, {"sb", &A::sb}};
+    if (auto it = stores.find(op); it != stores.end()) {
+      expect_argc(args, 2, ln);
+      const auto [off, base] = mem_operand(args[1], ln);
+      guarded(ln, [&] { ((*a_).*it->second)(reg(args[0], ln), base, off); });
+      return;
+    }
+
+    // Branches: op rs1, rs2, label.
+    static const std::map<std::string, void (A::*)(Reg, Reg, const std::string&)> br = {
+        {"beq", &A::beq}, {"bne", &A::bne}, {"blt", &A::blt}, {"bge", &A::bge},
+        {"bltu", &A::bltu}, {"bgeu", &A::bgeu}};
+    if (auto it = br.find(op); it != br.end()) {
+      expect_argc(args, 3, ln);
+      guarded(ln, [&] { ((*a_).*it->second)(reg(args[0], ln), reg(args[1], ln), prefix_ + args[2]); });
+      return;
+    }
+
+    if (op == "jal") {
+      if (args.size() == 1) {
+        guarded(ln, [&] { a_->jal(prefix_ + args[0]); });
+      } else {
+        expect_argc(args, 2, ln);
+        guarded(ln, [&] { a_->jal(reg(args[0], ln), prefix_ + args[1]); });
+      }
+      return;
+    }
+    if (op == "jalr") {
+      expect_argc(args, args.size() == 3 ? 3 : 2, ln);
+      const i32 off = args.size() == 3 ? static_cast<i32>(imm(args[2], ln)) : 0;
+      guarded(ln, [&] { a_->jalr(reg(args[0], ln), reg(args[1], ln), off); });
+      return;
+    }
+    if (op == "ret") {
+      a_->ret();
+      return;
+    }
+    if (op == "amoadd") {
+      expect_argc(args, 3, ln);
+      // amoadd rd, (rs1), rs2
+      std::string addr = args[1];
+      if (addr.size() >= 2 && addr.front() == '(' && addr.back() == ')')
+        addr = addr.substr(1, addr.size() - 2);
+      guarded(ln, [&] { a_->amoadd(reg(args[0], ln), reg(addr, ln), reg(args[2], ln)); });
+      return;
+    }
+    if (op == "csrr") {
+      expect_argc(args, 2, ln);
+      guarded(ln, [&] {
+        a_->csrr(reg(args[0], ln), static_cast<Csr>(imm(args[1], ln)));
+      });
+      return;
+    }
+    if (op == "csrw") {
+      expect_argc(args, 2, ln);
+      guarded(ln, [&] {
+        a_->csrw(static_cast<Csr>(imm(args[0], ln)), reg(args[1], ln));
+      });
+      return;
+    }
+    if (op == "li") {
+      expect_argc(args, 2, ln);
+      guarded(ln, [&] { a_->li(reg(args[0], ln), static_cast<u32>(imm(args[1], ln))); });
+      return;
+    }
+    if (op == "la") {
+      expect_argc(args, 2, ln);
+      guarded(ln, [&] { a_->la(reg(args[0], ln), prefix_ + args[1]); });
+      return;
+    }
+    if (op == "nop") {
+      a_->nop();
+      return;
+    }
+    if (op == "eret") {
+      a_->eret();
+      return;
+    }
+    if (op == "halt") {
+      a_->halt();
+      return;
+    }
+    throw ParseError(ln, "unknown mnemonic '" + op + "'");
+  }
+
+  std::string_view src_;
+  std::optional<Assembler> owned_;
+  Assembler* a_;
+  std::string prefix_;
+  bool fragment_ = false;
+};
+
+}  // namespace
+
+Program assemble_text(std::string_view source, u32 origin) {
+  return Parser(source, origin).run();
+}
+
+void assemble_text_into(Assembler& a, std::string_view source,
+                        const std::string& label_prefix) {
+  Parser(source, a, label_prefix).parse_all();
+}
+
+}  // namespace detstl::isa

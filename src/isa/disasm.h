@@ -1,0 +1,16 @@
+#pragma once
+// Instruction formatting for traces and diagnostics.
+
+#include <string>
+
+#include "isa/isa.h"
+
+namespace detstl::isa {
+
+/// Render a decoded instruction as assembly text, e.g. "add  r3, r1, r2".
+std::string disasm(const Instr& in);
+
+/// Decode + render a raw word.
+std::string disasm_word(u32 word);
+
+}  // namespace detstl::isa

@@ -1,0 +1,17 @@
+#pragma once
+// Binary encoding and decoding of instructions (layout documented in isa.h).
+
+#include "isa/isa.h"
+
+namespace detstl::isa {
+
+/// Encode a decoded instruction into its 32-bit memory representation.
+/// Immediates out of range or malformed register fields trigger an assertion
+/// in debug builds and are truncated otherwise (the assembler validates
+/// ranges before calling this).
+u32 encode(const Instr& in);
+
+/// Decode a 32-bit word. Unknown opcodes yield Op::kInvalid with `raw` set.
+Instr decode(u32 word);
+
+}  // namespace detstl::isa

@@ -1,0 +1,173 @@
+#pragma once
+// Instruction-set definition for the reproduced SoC's cores.
+//
+// The ISA is a compact 32-bit dual-issue RISC, stand-in for the proprietary
+// automotive cores of the paper (see DESIGN.md, substitution table). Cores A/B
+// implement the base 32-bit set; core C additionally implements the R64 group,
+// which operates on even/odd register *pairs* holding 64-bit operands
+// ("extended instruction set able to deal with 64-bit operands").
+//
+// Encoding (fixed 32-bit words, little-endian in memory):
+//   R-type : [31:26]=kOpR   [25:21]=rd [20:16]=rs1 [15:11]=rs2 [10:0]=funct
+//   R64    : [31:26]=kOpR64 same layout (registers must be even)
+//   I-type : [31:26]=major  [25:21]=rd [20:16]=rs1 [15:0]=imm16
+//   Branch : [31:26]=major  [25:21]=rs1 [20:16]=rs2 [15:0]=imm16 (byte offset
+//            relative to the branch's own PC, sign-extended)
+//   Store  : [31:26]=major  [25:21]=rs2(data) [20:16]=rs1(base) [15:0]=imm16
+//   JAL    : [31:26]=kOpJal [25:21]=rd [20:0]=imm21 (byte offset, signed)
+//   CSRR   : I-type, imm16 = CSR number, rd = destination
+//   CSRW   : I-type, imm16 = CSR number, rs1 = source, rd ignored
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/bitutil.h"
+
+namespace detstl::isa {
+
+// ----------------------------------------------------------------------------
+// Registers
+// ----------------------------------------------------------------------------
+
+enum Reg : u8 {
+  R0 = 0,  // hardwired zero
+  R1, R2, R3, R4, R5, R6, R7, R8, R9, R10, R11, R12, R13, R14, R15,
+  R16, R17, R18, R19, R20, R21, R22, R23, R24, R25,
+  R26,  // ISR scratch (STL convention)
+  R27,  // ISR scratch (STL convention)
+  R28,  // ISR accumulation (STL convention)
+  R29,  // test signature (STL convention)
+  R30,  // wrapper loop counter (STL convention)
+  R31,  // link register
+};
+
+inline constexpr unsigned kNumRegs = 32;
+
+// ----------------------------------------------------------------------------
+// Operations
+// ----------------------------------------------------------------------------
+
+enum class Op : u8 {
+  // R-type ALU (32-bit)
+  kAdd, kSub, kAnd, kOr, kXor, kNor, kSlt, kSltu, kSll, kSrl, kSra,
+  kMul, kMulh, kDiv, kDivu, kRem,
+  kAddv,  // add, raises imprecise overflow event on signed overflow
+  kSubv,  // sub, raises imprecise overflow event on signed overflow
+  kAmoAdd,  // atomic fetch-and-add: rd = M[rs1]; M[rs1] += rs2
+
+  // R64 group (core C only; even/odd register pairs)
+  kAdd64, kSub64, kAnd64, kOr64, kXor64, kSlt64, kSll64, kSrl64, kSra64,
+  kAddv64,  // 64-bit add, imprecise overflow event on signed-64 overflow
+
+  // I-type ALU
+  kAddi, kAndi, kOri, kXori, kSlti, kSltiu, kSlli, kSrli, kSrai, kLui,
+
+  // Loads / stores
+  kLw, kLh, kLhu, kLb, kLbu, kSw, kSh, kSb,
+
+  // Branches (PC-relative, resolved in EX)
+  kBeq, kBne, kBlt, kBge, kBltu, kBgeu,
+
+  // Jumps
+  kJal, kJalr,
+
+  // System
+  kCsrr, kCsrw, kEret, kHalt,
+
+  kInvalid,
+};
+
+inline constexpr unsigned kNumOps = static_cast<unsigned>(Op::kInvalid) + 1;
+
+/// Functional-unit / issue class of an operation.
+enum class OpClass : u8 {
+  kAlu,     // single-cycle integer
+  kMulDiv,  // multi-cycle integer (DIV/REM family)
+  kMem,     // load/store/amo — pipe 0 only
+  kBranch,  // branch/jump — pipe 0 only
+  kSys,     // CSR access, ERET, HALT — pipe 0 only, issues alone
+  kInvalid,
+};
+
+// ----------------------------------------------------------------------------
+// CSRs
+// ----------------------------------------------------------------------------
+
+enum class Csr : u16 {
+  // Performance counters (read-only from software; cleared by writing 0)
+  kCycle = 0x000,
+  kInstret = 0x001,
+  kIfStall = 0x002,    // cycles the issue stage starved for instructions
+  kMemStall = 0x003,   // cycles the MEM stage waited on the memory subsystem
+  kHdcuStall = 0x004,  // stall cycles inserted by the hazard detection unit
+  kIcMiss = 0x005,
+  kDcMiss = 0x006,
+  kSplit = 0x007,      // issue packets serialised by the HDCU
+
+  // Trap handling
+  kMstatus = 0x010,  // bit0 = global interrupt enable
+  kMtvec = 0x011,    // trap vector address
+  kMepc = 0x012,     // PC of the first un-issued instruction at recognition
+  kMcause = 0x013,   // ICU cause bits (core-dependent mapping, see icu.h)
+  kMip = 0x014,      // raw pending bits (diagnostic view)
+  kMie = 0x015,      // per-source interrupt enable mask
+  kMfpc = 0x016,     // PC of the interrupting (faulting) instruction
+  kMswi = 0x017,     // write any value: raise the software imprecise event
+
+  // Cache control
+  kCacheOp = 0x020,   // write: bit0 = invalidate I$, bit1 = invalidate D$
+  kCacheCfg = 0x021,  // bit0 = I$ enable, bit1 = D$ enable, bit2 = write-allocate
+
+  // Identity
+  kCoreId = 0x030,
+};
+
+inline constexpr u32 kMstatusIe = 1u << 0;
+inline constexpr u32 kCacheOpInvI = 1u << 0;
+inline constexpr u32 kCacheOpInvD = 1u << 1;
+inline constexpr u32 kCacheCfgIEn = 1u << 0;
+inline constexpr u32 kCacheCfgDEn = 1u << 1;
+inline constexpr u32 kCacheCfgWriteAllocate = 1u << 2;
+
+// ----------------------------------------------------------------------------
+// Decoded instruction
+// ----------------------------------------------------------------------------
+
+struct Instr {
+  Op op = Op::kInvalid;
+  u8 rd = 0;
+  u8 rs1 = 0;
+  u8 rs2 = 0;
+  i32 imm = 0;   // sign- or zero-extended per op
+  u16 csr = 0;   // CSR number for kCsrr/kCsrw
+  u32 raw = 0;   // original encoding
+
+  bool valid() const { return op != Op::kInvalid; }
+};
+
+// ----------------------------------------------------------------------------
+// Operation metadata
+// ----------------------------------------------------------------------------
+
+OpClass op_class(Op op);
+std::string_view mnemonic(Op op);
+
+bool is_r64(Op op);
+bool is_load(Op op);
+bool is_store(Op op);
+bool is_branch(Op op);   // conditional branches only
+bool is_jump(Op op);     // JAL/JALR
+bool is_muldiv(Op op);   // multi-cycle EX ops
+
+/// True when the instruction architecturally writes `rd` (and rd may be R0,
+/// which discards the write).
+bool writes_rd(const Instr& in);
+/// True when the instruction reads `rs1` / `rs2` as a register operand.
+bool reads_rs1(const Instr& in);
+bool reads_rs2(const Instr& in);
+
+/// Number of bytes accessed by a load/store op (1, 2, 4), 0 otherwise.
+unsigned mem_size(Op op);
+
+}  // namespace detstl::isa

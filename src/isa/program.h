@@ -1,0 +1,52 @@
+#pragma once
+// A linked program image: a set of byte segments at absolute addresses plus a
+// symbol table. Produced by the Assembler, consumed by the SoC loader.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bitutil.h"
+
+namespace detstl::isa {
+
+struct Segment {
+  u32 base = 0;
+  std::vector<u8> bytes;
+  u32 end() const { return base + static_cast<u32>(bytes.size()); }
+};
+
+class Program {
+ public:
+  Program() = default;
+  Program(std::vector<Segment> segments, std::map<std::string, u32> symbols,
+          u32 entry)
+      : segments_(std::move(segments)), symbols_(std::move(symbols)), entry_(entry) {}
+
+  const std::vector<Segment>& segments() const { return segments_; }
+  const std::map<std::string, u32>& symbols() const { return symbols_; }
+
+  u32 entry() const { return entry_; }
+  void set_entry(u32 e) { entry_ = e; }
+
+  /// Address of a symbol; throws std::out_of_range if undefined.
+  u32 symbol(const std::string& name) const { return symbols_.at(name); }
+  bool has_symbol(const std::string& name) const { return symbols_.count(name) != 0; }
+
+  /// Total byte size across all segments.
+  u32 size_bytes() const {
+    u32 n = 0;
+    for (const auto& s : segments_) n += static_cast<u32>(s.bytes.size());
+    return n;
+  }
+
+  bool empty() const { return segments_.empty(); }
+
+ private:
+  std::vector<Segment> segments_;
+  std::map<std::string, u32> symbols_;
+  u32 entry_ = 0;
+};
+
+}  // namespace detstl::isa

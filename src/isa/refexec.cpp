@@ -1,0 +1,187 @@
+#include "isa/refexec.h"
+
+#include <cassert>
+
+#include "isa/encoding.h"
+
+namespace detstl::isa {
+
+u32 MemView::load(u32 addr, unsigned size) {
+  u32 v = 0;
+  for (unsigned i = 0; i < size; ++i) v |= static_cast<u32>(load8(addr + i)) << (8 * i);
+  return v;
+}
+
+void MemView::store(u32 addr, u32 v, unsigned size) {
+  for (unsigned i = 0; i < size; ++i) store8(addr + i, static_cast<u8>(v >> (8 * i)));
+}
+
+void FlatMemory::load_program(const Program& prog) {
+  for (const auto& seg : prog.segments())
+    for (u32 i = 0; i < seg.bytes.size(); ++i) store8(seg.base + i, seg.bytes[i]);
+}
+
+void RefExec::reset(u32 entry) {
+  regs_.fill(0);
+  pc_ = entry;
+  halted_ = false;
+  instret_ = 0;
+  mstatus_ = mtvec_ = mepc_ = mcause_ = mip_ = mie_ = mfpc_ = 0;
+  event_counts_.fill(0);
+}
+
+u32 RefExec::csr(Csr c) const {
+  switch (c) {
+    case Csr::kCycle:
+    case Csr::kInstret:
+      return static_cast<u32>(instret_);
+    case Csr::kMstatus: return mstatus_;
+    case Csr::kMtvec: return mtvec_;
+    case Csr::kMepc: return mepc_;
+    case Csr::kMcause: return mcause_;
+    case Csr::kMip: return mip_;
+    case Csr::kMie: return mie_;
+    case Csr::kMfpc: return mfpc_;
+    case Csr::kCoreId: return static_cast<u32>(kind_);
+    default:
+      return 0;  // stall/cache counters have no meaning in the untimed model
+  }
+}
+
+void RefExec::set_csr(Csr c, u32 v) {
+  switch (c) {
+    case Csr::kMstatus: mstatus_ = v & kMstatusIe; break;
+    case Csr::kMtvec: mtvec_ = v; break;
+    case Csr::kMepc: mepc_ = v; break;
+    case Csr::kMie: mie_ = v & ((1u << kNumIcuSources) - 1); break;
+    case Csr::kMip: mip_ &= ~v; break;  // write-1-to-clear
+    default:
+      break;  // counters, cache control: no effect in the untimed model
+  }
+}
+
+void RefExec::write_rd(const Instr& in, u32 v) {
+  if (writes_rd(in) && in.rd != 0) regs_[in.rd] = v;
+}
+
+void RefExec::write_rd_pair(const Instr& in, u64 v) {
+  if (in.rd != 0) {
+    regs_[in.rd] = static_cast<u32>(v);
+    regs_[in.rd + 1] = static_cast<u32>(v >> 32);
+  }
+}
+
+void RefExec::raise(IcuSource src, u32 faulting_pc) {
+  const auto s = static_cast<unsigned>(src);
+  ++event_counts_[s];
+  mip_ |= 1u << s;
+  // Precise recognition: if enabled, trap immediately after this instruction.
+  if ((mstatus_ & kMstatusIe) && (mie_ & (1u << s))) {
+    mepc_ = pc_;  // next instruction (pc_ already advanced by the caller)
+    mfpc_ = faulting_pc;
+    mcause_ = map_cause(kind_, src);
+    mip_ &= ~(1u << s);
+    mstatus_ &= ~kMstatusIe;
+    pc_ = mtvec_;
+  }
+}
+
+bool RefExec::step() {
+  if (halted_) return false;
+  const u32 fetch_pc = pc_;
+  const Instr in = decode(mem_->load(fetch_pc & ~3u, 4));
+  pc_ = fetch_pc + 4;
+  ++instret_;
+
+  switch (op_class(in.op)) {
+    case OpClass::kAlu:
+    case OpClass::kMulDiv: {
+      if (is_r64(in.op)) {
+        assert(core_has_r64(kind_) && "R64 op on a 32-bit core");
+        const u64 a = reg_pair(in.rs1);
+        const u64 b = reg_pair(in.rs2);
+        const auto res = alu64(in.op, a, b);
+        write_rd_pair(in, res.value);
+        if (res.overflow) raise(IcuSource::kOverflow, fetch_pc);
+      } else {
+        const u32 a = regs_[in.rs1];
+        const u32 b = reads_rs2(in) ? regs_[in.rs2] : static_cast<u32>(in.imm);
+        const auto res = alu32(in.op, a, b);
+        write_rd(in, res.value);
+        if (res.overflow) raise(IcuSource::kOverflow, fetch_pc);
+        if (res.div_by_zero) raise(IcuSource::kDivZero, fetch_pc);
+      }
+      break;
+    }
+    case OpClass::kMem: {
+      const unsigned size = mem_size(in.op);
+      u32 addr = regs_[in.rs1] + static_cast<u32>(in.imm);
+      if (addr % size != 0) {
+        raise(IcuSource::kUnaligned, fetch_pc);
+        addr = align_down(addr, size);
+      }
+      if (in.op == Op::kAmoAdd) {
+        const u32 old = mem_->load(addr, 4);
+        mem_->store(addr, old + regs_[in.rs2], 4);
+        write_rd(in, old);
+      } else if (is_store(in.op)) {
+        mem_->store(addr, regs_[in.rs2], size);
+      } else {
+        u32 v = mem_->load(addr, size);
+        if (in.op == Op::kLh) v = static_cast<u32>(sext(v, 16));
+        if (in.op == Op::kLb) v = static_cast<u32>(sext(v, 8));
+        write_rd(in, v);
+      }
+      break;
+    }
+    case OpClass::kBranch: {
+      if (in.op == Op::kJal) {
+        write_rd(in, fetch_pc + 4);
+        pc_ = fetch_pc + static_cast<u32>(in.imm);
+      } else if (in.op == Op::kJalr) {
+        const u32 target = (regs_[in.rs1] + static_cast<u32>(in.imm)) & ~3u;
+        write_rd(in, fetch_pc + 4);
+        pc_ = target;
+      } else if (branch_taken(in.op, regs_[in.rs1], regs_[in.rs2])) {
+        pc_ = fetch_pc + static_cast<u32>(in.imm);
+      }
+      break;
+    }
+    case OpClass::kSys: {
+      switch (in.op) {
+        case Op::kCsrr:
+          write_rd(in, csr(static_cast<Csr>(in.csr)));
+          break;
+        case Op::kCsrw:
+          if (static_cast<Csr>(in.csr) == Csr::kMswi) {
+            raise(IcuSource::kSoftware, fetch_pc);
+          } else {
+            set_csr(static_cast<Csr>(in.csr), regs_[in.rs1]);
+          }
+          break;
+        case Op::kEret:
+          pc_ = mepc_;
+          mstatus_ |= kMstatusIe;
+          break;
+        case Op::kHalt:
+          halted_ = true;
+          break;
+        default:
+          break;
+      }
+      break;
+    }
+    case OpClass::kInvalid:
+      halted_ = true;  // treat as fatal in the untimed model
+      break;
+  }
+  return !halted_;
+}
+
+u64 RefExec::run(u64 max_steps) {
+  u64 n = 0;
+  while (n < max_steps && step()) ++n;
+  return n;
+}
+
+}  // namespace detstl::isa

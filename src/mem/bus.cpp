@@ -1,0 +1,83 @@
+#include "mem/bus.h"
+
+#include <cassert>
+
+namespace detstl::mem {
+
+void SharedBus::submit(unsigned id, const BusReq& req) {
+  assert(id < kMaxBusRequesters);
+  assert(slots_[id].state == SlotState::kIdle && "one outstanding request per port");
+  assert(req.bytes >= 1 && req.bytes <= kBusMaxBurstBytes);
+  assert(is_bus(req.addr));
+  slots_[id].state = SlotState::kWaiting;
+  slots_[id].req = req;
+}
+
+void SharedBus::perform(Slot& slot, Flash& flash, Sram& sram) {
+  const BusReq& req = slot.req;
+  const u32 base = req.addr;
+  if (is_flash(base)) {
+    assert(!req.write && !req.amo_add && "flash is read-only at run time");
+    for (u32 i = 0; i < (req.bytes + 3) / 4; ++i) slot.rdata[i] = flash.read32(base + 4 * i);
+    return;
+  }
+  assert(is_sram(base));
+  if (req.amo_add) {
+    const u32 old = sram.read32(base);
+    sram.write32(base, old + req.wdata[0]);
+    slot.rdata[0] = old;
+    return;
+  }
+  if (req.write) {
+    // Sub-word writes carry the byte count; bytes are taken from wdata LSBs.
+    if (req.bytes < 4) {
+      for (u32 i = 0; i < req.bytes; ++i)
+        sram.write8(base + i, static_cast<u8>(req.wdata[0] >> (8 * i)));
+    } else {
+      for (u32 i = 0; i < req.bytes / 4; ++i) sram.write32(base + 4 * i, req.wdata[i]);
+    }
+    return;
+  }
+  for (u32 i = 0; i < (req.bytes + 3) / 4; ++i) slot.rdata[i] = sram.read32(base + 4 * i);
+}
+
+void SharedBus::tick(Flash& flash, Sram& sram) {
+  if (grant_valid_) {
+    if (cycles_left_ > 0) --cycles_left_;
+    if (cycles_left_ == 0) {
+      Slot& slot = slots_[grant_id_];
+      perform(slot, flash, sram);
+      slot.state = SlotState::kComplete;
+      grant_valid_ = false;
+    } else {
+      return;  // bus occupied, nothing else happens this cycle
+    }
+  }
+
+  // Round-robin grant among waiting requesters.
+  for (unsigned i = 0; i < kMaxBusRequesters; ++i) {
+    const unsigned id = (rr_next_ + i) % kMaxBusRequesters;
+    Slot& slot = slots_[id];
+    if (slot.state != SlotState::kWaiting) continue;
+    grant_valid_ = true;
+    grant_id_ = id;
+    rr_next_ = (id + 1) % kMaxBusRequesters;
+    slot.state = SlotState::kInService;
+    ++transactions_;
+    // Flash prefetch buffers are per core-side stream: both instruction-port
+    // slots of a core (ids core*3 and core*3+2) share the instruction
+    // buffer; the data port (core*3+1) has its own.
+    const unsigned flash_buf = (id / 3) * 2 + (id % 3 == 1 ? 1 : 0);
+    const u32 device_cycles =
+        is_flash(slot.req.addr)
+            ? flash.access_cycles(slot.req.addr, slot.req.bytes, flash_buf)
+            : Sram::access_cycles(slot.req.bytes) +
+                  (slot.req.amo_add ? kSramFirstCycles : 0);
+    // The grant tick itself is the arbitration/address phase; the device
+    // access occupies the following `device_cycles` ticks.
+    cycles_left_ = device_cycles;
+    break;
+  }
+}
+
+}  // namespace detstl::mem

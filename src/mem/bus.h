@@ -1,0 +1,71 @@
+#pragma once
+// Shared system bus with round-robin arbitration. One transaction occupies
+// the bus for its full device-access duration; queued requesters wait. This
+// is the contention point that makes multi-core execution of self-test
+// routines non-deterministic (paper Sec. II, Table I).
+//
+// The bus owns no device pointers (the SoC passes Flash/Sram into tick()) so
+// that a SoC checkpoint is a plain value copy.
+
+#include <array>
+#include <cstdint>
+
+#include "common/bitutil.h"
+#include "mem/flash.h"
+#include "mem/sram.h"
+
+namespace detstl::mem {
+
+/// 3 cores x (instruction port slot 0, data port, instruction port slot 1).
+/// The instruction side keeps up to two fetches in flight (pipelined flash
+/// access); requester id layout: core*3 + {0: ifetch0, 1: data, 2: ifetch1}.
+inline constexpr unsigned kMaxBusRequesters = 9;
+inline constexpr u32 kBusMaxBurstBytes = 32;
+
+struct BusReq {
+  u32 addr = 0;
+  u32 bytes = 0;        // 1..32; bursts are naturally aligned
+  bool write = false;
+  bool amo_add = false; // atomic fetch-and-add of wdata[0]; rdata = old value
+  std::array<u32, 8> wdata{};
+};
+
+/// One requester slot: submit -> (arbitration, device access) -> complete ->
+/// retire. A requester may have at most one outstanding request.
+class SharedBus {
+ public:
+  void submit(unsigned id, const BusReq& req);
+  bool has_pending(unsigned id) const { return slots_[id].state != SlotState::kIdle; }
+  bool complete(unsigned id) const { return slots_[id].state == SlotState::kComplete; }
+  /// Read data of a completed request, one 32-bit beat at a time.
+  u32 rdata(unsigned id, unsigned beat) const { return slots_[id].rdata[beat]; }
+  void retire(unsigned id) { slots_[id].state = SlotState::kIdle; }
+
+  /// Advance one cycle: continue the in-flight transaction or grant a new one.
+  void tick(Flash& flash, Sram& sram);
+
+  /// Total transactions granted (diagnostics).
+  u64 transactions() const { return transactions_; }
+  /// True if any transaction is in flight (diagnostics / determinism checks).
+  bool busy() const { return grant_valid_; }
+
+ private:
+  enum class SlotState : u8 { kIdle, kWaiting, kInService, kComplete };
+
+  struct Slot {
+    SlotState state = SlotState::kIdle;
+    BusReq req;
+    std::array<u32, 8> rdata{};
+  };
+
+  void perform(Slot& slot, Flash& flash, Sram& sram);
+
+  std::array<Slot, kMaxBusRequesters> slots_{};
+  bool grant_valid_ = false;
+  unsigned grant_id_ = 0;
+  u32 cycles_left_ = 0;
+  unsigned rr_next_ = 0;  // round-robin scan start
+  u64 transactions_ = 0;
+};
+
+}  // namespace detstl::mem

@@ -1,0 +1,129 @@
+#include "mem/cache.h"
+
+namespace detstl::mem {
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+  assert(is_pow2(cfg.size_bytes) && is_pow2(cfg.ways) && is_pow2(cfg.line_bytes));
+  assert(cfg.num_sets() >= 1);
+  lines_.resize(cfg.num_sets() * cfg.ways);
+  for (auto& l : lines_) l.data.resize(cfg.line_bytes, 0);
+}
+
+const Cache::Line* Cache::find(u32 addr) const {
+  const u32 set = set_index(addr);
+  const u32 tag = tag_of(addr);
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    const Line& l = lines_[set * cfg_.ways + w];
+    if (l.valid && l.tag == tag) return &l;
+  }
+  return nullptr;
+}
+
+Cache::Line* Cache::find(u32 addr) {
+  return const_cast<Line*>(static_cast<const Cache*>(this)->find(addr));
+}
+
+void Cache::touch(Line& line) { line.lru = ++lru_clock_; }
+
+bool Cache::lookup(u32 addr) {
+  Line* l = find(addr);
+  if (l != nullptr) {
+    touch(*l);
+    ++stats_.hits;
+    return true;
+  }
+  ++stats_.misses;
+  return false;
+}
+
+bool Cache::probe(u32 addr) const { return find(addr) != nullptr; }
+
+bool Cache::line_dirty(u32 addr) const {
+  const Line* l = find(addr);
+  return l != nullptr && l->dirty;
+}
+
+void Cache::read_line(u32 addr, std::vector<u32>& beats) const {
+  const Line* l = find(addr);
+  assert(l != nullptr);
+  beats.assign(cfg_.line_bytes / 4, 0);
+  for (u32 i = 0; i < cfg_.line_bytes; ++i)
+    beats[i / 4] |= static_cast<u32>(l->data[i]) << (8 * (i % 4));
+}
+
+u32 Cache::read(u32 addr, unsigned size) const {
+  const Line* l = find(addr);
+  assert(l != nullptr && "read from non-resident line");
+  const u32 off = addr % cfg_.line_bytes;
+  assert(off + size <= cfg_.line_bytes);
+  u32 v = 0;
+  for (unsigned i = 0; i < size; ++i) v |= static_cast<u32>(l->data[off + i]) << (8 * i);
+  return v;
+}
+
+void Cache::write(u32 addr, u32 value, unsigned size) {
+  Line* l = find(addr);
+  assert(l != nullptr && "write to non-resident line");
+  const u32 off = addr % cfg_.line_bytes;
+  assert(off + size <= cfg_.line_bytes);
+  for (unsigned i = 0; i < size; ++i) l->data[off + i] = static_cast<u8>(value >> (8 * i));
+  l->dirty = true;
+  touch(*l);
+}
+
+u32 Cache::victim_way(u32 addr) const {
+  const u32 set = set_index(addr);
+  u32 best = 0;
+  u32 best_lru = ~0u;
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    const Line& l = lines_[set * cfg_.ways + w];
+    if (!l.valid) return w;  // free way first
+    if (l.lru < best_lru) {
+      best_lru = l.lru;
+      best = w;
+    }
+  }
+  return best;
+}
+
+bool Cache::victim_dirty(u32 addr, u32& wb_addr, std::vector<u32>& beats) const {
+  const u32 set = set_index(addr);
+  const Line& victim = lines_[set * cfg_.ways + victim_way(addr)];
+  if (!victim.valid || !victim.dirty) return false;
+  wb_addr = (victim.tag * cfg_.num_sets() + set) * cfg_.line_bytes;
+  beats.assign(cfg_.line_bytes / 4, 0);
+  for (u32 i = 0; i < cfg_.line_bytes; ++i)
+    beats[i / 4] |= static_cast<u32>(victim.data[i]) << (8 * (i % 4));
+  return true;
+}
+
+void Cache::fill(u32 addr, const std::vector<u32>& beats) {
+  assert(beats.size() == cfg_.line_bytes / 4);
+  const u32 set = set_index(addr);
+  Line& l = lines_[set * cfg_.ways + victim_way(addr)];
+  if (l.valid && l.dirty) ++stats_.writebacks;
+  l.valid = true;
+  l.dirty = false;
+  l.tag = tag_of(addr);
+  for (u32 i = 0; i < cfg_.line_bytes; ++i)
+    l.data[i] = static_cast<u8>(beats[i / 4] >> (8 * (i % 4)));
+  touch(l);
+}
+
+void Cache::invalidate_all() {
+  for (auto& l : lines_) {
+    l.valid = false;
+    l.dirty = false;
+    l.lru = 0;
+  }
+  lru_clock_ = 0;
+}
+
+u32 Cache::valid_lines() const {
+  u32 n = 0;
+  for (const auto& l : lines_)
+    if (l.valid) ++n;
+  return n;
+}
+
+}  // namespace detstl::mem

@@ -1,0 +1,95 @@
+#pragma once
+// Core-private L1 cache: set-associative, LRU, write-back, configurable
+// write-allocate / no-write-allocate (the paper's method prescribes a dummy
+// load after each store when the cache is no-write-allocate, Sec. III
+// step 1). Invalidate-all discards content including dirty lines — this is
+// the initialisation step of the wrapper (Fig. 2b block b).
+//
+// The cache is a passive tag/data structure; the per-core MemSystem drives
+// the miss/refill/writeback sequencing.
+
+#include <cassert>
+#include <vector>
+
+#include "common/bitutil.h"
+
+namespace detstl::mem {
+
+struct CacheConfig {
+  u32 size_bytes = 4096;
+  u32 ways = 2;
+  u32 line_bytes = 32;
+
+  u32 num_sets() const { return size_bytes / (ways * line_bytes); }
+};
+
+struct CacheStats {
+  u64 hits = 0;
+  u64 misses = 0;
+  u64 writebacks = 0;
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& cfg);
+
+  const CacheConfig& config() const { return cfg_; }
+  CacheStats& stats() { return stats_; }
+  const CacheStats& stats() const { return stats_; }
+
+  /// Probe for `addr`; on hit updates LRU and returns true. Counts stats.
+  bool lookup(u32 addr);
+
+  /// Probe without side effects (tests/diagnostics).
+  bool probe(u32 addr) const;
+
+  /// True if `addr`'s line is resident and dirty.
+  bool line_dirty(u32 addr) const;
+
+  /// Copy a resident line's words into `beats` (line_bytes/4 entries).
+  void read_line(u32 addr, std::vector<u32>& beats) const;
+
+  /// Read `size` bytes (within one line) from a resident line.
+  u32 read(u32 addr, unsigned size) const;
+
+  /// Write `size` bytes (within one line) into a resident line, marking dirty.
+  void write(u32 addr, u32 value, unsigned size);
+
+  /// Choose the victim way for `addr`'s set (LRU). Returns way index.
+  u32 victim_way(u32 addr) const;
+
+  /// True if the victim for `addr` would need a writeback; fills `wb_addr`
+  /// and the line data beats if so.
+  bool victim_dirty(u32 addr, u32& wb_addr, std::vector<u32>& beats) const;
+
+  /// Install the line containing `addr` with `beats` (line_bytes/4 words),
+  /// evicting the LRU victim.
+  void fill(u32 addr, const std::vector<u32>& beats);
+
+  void invalidate_all();
+
+  /// Number of valid lines (diagnostics).
+  u32 valid_lines() const;
+
+ private:
+  struct Line {
+    bool valid = false;
+    bool dirty = false;
+    u32 tag = 0;
+    u32 lru = 0;  // higher = more recently used
+    std::vector<u8> data;
+  };
+
+  u32 set_index(u32 addr) const { return (addr / cfg_.line_bytes) % cfg_.num_sets(); }
+  u32 tag_of(u32 addr) const { return addr / cfg_.line_bytes / cfg_.num_sets(); }
+  const Line* find(u32 addr) const;
+  Line* find(u32 addr);
+  void touch(Line& line);
+
+  CacheConfig cfg_;
+  std::vector<Line> lines_;  // [set * ways + way]
+  CacheStats stats_;
+  u32 lru_clock_ = 0;
+};
+
+}  // namespace detstl::mem

@@ -1,0 +1,29 @@
+#pragma once
+// SoC physical memory map. TCMs are core-private and not visible on the shared
+// bus; Flash and SRAM are shared bus targets.
+
+#include "common/bitutil.h"
+
+namespace detstl::mem {
+
+inline constexpr u32 kItcmBase = 0x0000'0000;
+inline constexpr u32 kItcmSize = 16 * 1024;
+inline constexpr u32 kDtcmBase = 0x0800'0000;
+inline constexpr u32 kDtcmSize = 16 * 1024;
+inline constexpr u32 kFlashBase = 0x1000'0000;
+inline constexpr u32 kFlashSize = 2 * 1024 * 1024;
+inline constexpr u32 kSramBase = 0x2000'0000;
+inline constexpr u32 kSramSize = 128 * 1024;
+
+inline constexpr bool in_range(u32 addr, u32 base, u32 size) {
+  return addr >= base && addr < base + size;
+}
+
+inline constexpr bool is_itcm(u32 addr) { return in_range(addr, kItcmBase, kItcmSize); }
+inline constexpr bool is_dtcm(u32 addr) { return in_range(addr, kDtcmBase, kDtcmSize); }
+inline constexpr bool is_flash(u32 addr) { return in_range(addr, kFlashBase, kFlashSize); }
+inline constexpr bool is_sram(u32 addr) { return in_range(addr, kSramBase, kSramSize); }
+/// Shared-bus (and therefore cacheable) address space.
+inline constexpr bool is_bus(u32 addr) { return is_flash(addr) || is_sram(addr); }
+
+}  // namespace detstl::mem

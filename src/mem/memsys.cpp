@@ -1,0 +1,308 @@
+#include "mem/memsys.h"
+
+#include <cassert>
+
+#include "common/bitutil.h"
+#include "isa/isa.h"
+#include "common/log.h"
+#include <ios>
+
+namespace detstl::mem {
+
+MemSystem::MemSystem(unsigned core_id, const MemSystemConfig& cfg)
+    : core_id_(core_id),
+      icache_(cfg.icache),
+      dcache_(cfg.dcache),
+      itcm_(kItcmBase, cfg.itcm_size),
+      dtcm_(kDtcmBase, cfg.dtcm_size) {}
+
+void MemSystem::cache_op(u32 op_bits) {
+  if (op_bits & isa::kCacheOpInvI) icache_.invalidate_all();
+  if (op_bits & isa::kCacheOpInvD) dcache_.invalidate_all();
+}
+
+void MemSystem::set_cache_cfg(u32 cfg_bits) { cache_cfg_ = cfg_bits & 0x7; }
+
+// ----------------------------------------------------------------------------
+// Instruction port
+// ----------------------------------------------------------------------------
+
+unsigned MemSystem::iactive_count() const {
+  unsigned n = 0;
+  for (const auto& s : islot_)
+    if (s.state != IState::kIdle) ++n;
+  return n;
+}
+
+bool MemSystem::ibus_inflight() const {
+  for (const auto& s : islot_)
+    if (s.state == IState::kBusDirect || s.state == IState::kRefill) return true;
+  return false;
+}
+
+bool MemSystem::idraining() const {
+  for (const auto& s : islot_)
+    if (s.discard) return true;
+  return false;
+}
+
+bool MemSystem::ifetch_can_request() const {
+  if (idraining()) return false;
+  if (iactive_count() >= 2) return false;
+  // With the I-cache enabled, at most one refill may be outstanding (a hit
+  // completes in the same cycle, so the second slot is never needed).
+  if (icache_enabled() && ibus_inflight()) return false;
+  return true;
+}
+
+void MemSystem::ifetch_request(u32 addr, SharedBus& bus) {
+  assert(ifetch_can_request());
+  assert(addr % 8 == 0);
+  const unsigned idx = (ihead_ + iactive_count()) % 2;
+  IFetchSlot& slot = islot_[idx];
+  assert(slot.state == IState::kIdle);
+  slot.addr = addr;
+  slot.discard = false;
+
+  if (itcm_.contains(addr)) {
+    slot.data = itcm_.read64(addr);
+    slot.state = IState::kDone;
+    return;
+  }
+  assert(is_bus(addr) && "ifetch outside ITCM/flash/SRAM");
+
+  if (icache_enabled()) {
+    if (icache_.lookup(addr)) {
+      slot.data = static_cast<u64>(icache_.read(addr, 4)) |
+                  (static_cast<u64>(icache_.read(addr + 4, 4)) << 32);
+      slot.state = IState::kDone;
+      return;
+    }
+    // Line refill. The I-cache is read-only: victims are never dirty.
+    bus.submit(iport_id(idx), BusReq{.addr = align_down(addr, icache_.config().line_bytes),
+                                     .bytes = icache_.config().line_bytes});
+    slot.state = IState::kRefill;
+    return;
+  }
+
+  bus.submit(iport_id(idx), BusReq{.addr = addr, .bytes = 8});
+  slot.state = IState::kBusDirect;
+}
+
+void MemSystem::ifetch_ack() {
+  assert(islot_[ihead_].state == IState::kDone);
+  islot_[ihead_].state = IState::kIdle;
+  ihead_ = (ihead_ + 1) % 2;
+  if (iactive_count() == 0) ihead_ = 0;
+}
+
+void MemSystem::ifetch_cancel() {
+  for (auto& s : islot_) {
+    if (s.state == IState::kDone) {
+      s.state = IState::kIdle;
+    } else if (s.state != IState::kIdle) {
+      s.discard = true;
+    }
+  }
+  if (iactive_count() == 0) ihead_ = 0;
+}
+
+// ----------------------------------------------------------------------------
+// Data port
+// ----------------------------------------------------------------------------
+
+void MemSystem::data_request(const DataOp& op, SharedBus& bus) {
+  assert(dstate_ == DState::kIdle);
+  assert(op.addr % op.size == 0 && "misalignment is resolved in the CPU");
+  dop_ = op;
+
+  // TCMs: same-cycle, both instruction and data TCM reachable from the D port
+  // (the TCM-based strategy copies code into the ITCM through here).
+  Tcm* tcm = itcm_.contains(op.addr) ? &itcm_ : dtcm_.contains(op.addr) ? &dtcm_ : nullptr;
+  if (tcm != nullptr) {
+    assert(!op.amo_add && "atomics are only supported on shared SRAM");
+    if (op.write) {
+      tcm->write(op.addr, op.wdata, op.size);
+    } else {
+      drdata_ = tcm->read(op.addr, op.size);
+    }
+    dstate_ = DState::kDone;
+    return;
+  }
+  if (!is_bus(op.addr)) {
+    DETSTL_ERROR << "core " << core_id_ << ": data access to unmapped address 0x"
+                 << std::hex << op.addr;
+    assert(false && "data access to unmapped address");
+  }
+
+  if (op.amo_add) {
+    assert(is_sram(op.addr) && op.size == 4);
+    // Atomicity lives on the bus. A dirty cached copy must be written back
+    // first so the bus-side read-modify-write sees current data; a clean
+    // resident copy is updated in place after the AMO completes.
+    if (dcache_enabled() && dcache_.line_dirty(op.addr)) {
+      const u32 line = align_down(op.addr, dcache_.config().line_bytes);
+      std::vector<u32> beats;
+      dcache_.read_line(op.addr, beats);
+      bus.submit(dport_id(), BusReq{.addr = line,
+                                    .bytes = dcache_.config().line_bytes,
+                                    .write = true,
+                                    .wdata = {beats[0], beats[1], beats[2], beats[3],
+                                              beats[4], beats[5], beats[6], beats[7]}});
+      dstate_ = DState::kAmoFlush;
+      return;
+    }
+    bus.submit(dport_id(), BusReq{.addr = op.addr, .bytes = 4, .amo_add = true,
+                                  .wdata = {op.wdata}});
+    dstate_ = DState::kAmoBus;
+    return;
+  }
+
+  const bool cacheable = dcache_enabled();
+  if (!cacheable) {
+    BusReq req{.addr = op.addr, .bytes = op.size, .write = op.write,
+               .wdata = {op.wdata}};
+    bus.submit(dport_id(), req);
+    dstate_ = DState::kBusDirect;
+    return;
+  }
+
+  if (dcache_.lookup(op.addr)) {
+    dcache_apply();
+    dstate_ = DState::kDone;
+    return;
+  }
+
+  // Miss. Store miss with no-write-allocate: write around the cache.
+  if (op.write && !write_allocate()) {
+    assert(is_sram(op.addr) && "stores must target SRAM");
+    bus.submit(dport_id(), BusReq{.addr = op.addr, .bytes = op.size, .write = true,
+                                  .wdata = {op.wdata}});
+    dstate_ = DState::kBusDirect;
+    return;
+  }
+
+  // Allocate: writeback the victim if dirty, then refill.
+  u32 wb_addr = 0;
+  std::vector<u32> beats;
+  if (dcache_.victim_dirty(op.addr, wb_addr, beats)) {
+    bus.submit(dport_id(), BusReq{.addr = wb_addr,
+                                  .bytes = dcache_.config().line_bytes,
+                                  .write = true,
+                                  .wdata = {beats[0], beats[1], beats[2], beats[3],
+                                            beats[4], beats[5], beats[6], beats[7]}});
+    dstate_ = DState::kWriteback;
+    return;
+  }
+  start_drefill(bus);
+}
+
+void MemSystem::start_drefill(SharedBus& bus) {
+  bus.submit(dport_id(), BusReq{.addr = align_down(dop_.addr, dcache_.config().line_bytes),
+                                .bytes = dcache_.config().line_bytes});
+  dstate_ = DState::kRefill;
+}
+
+void MemSystem::dcache_apply() {
+  if (dop_.write) {
+    assert(is_sram(dop_.addr) && "stores must target SRAM");
+    dcache_.write(dop_.addr, dop_.wdata, dop_.size);
+  } else {
+    drdata_ = dcache_.read(dop_.addr, dop_.size);
+  }
+}
+
+// ----------------------------------------------------------------------------
+// Cycle advance
+// ----------------------------------------------------------------------------
+
+void MemSystem::tick(SharedBus& bus) {
+  // Instruction port completions (either slot; CPU consumes in order).
+  for (unsigned idx = 0; idx < 2; ++idx) {
+    IFetchSlot& slot = islot_[idx];
+    if (slot.state != IState::kBusDirect && slot.state != IState::kRefill) continue;
+    const unsigned id = iport_id(idx);
+    if (!bus.complete(id)) continue;
+    if (slot.state == IState::kRefill) {
+      std::vector<u32> beats(icache_.config().line_bytes / 4);
+      for (u32 i = 0; i < beats.size(); ++i) beats[i] = bus.rdata(id, i);
+      icache_.fill(align_down(slot.addr, icache_.config().line_bytes), beats);
+      slot.data = static_cast<u64>(icache_.read(slot.addr, 4)) |
+                  (static_cast<u64>(icache_.read(slot.addr + 4, 4)) << 32);
+    } else {
+      slot.data = static_cast<u64>(bus.rdata(id, 0)) |
+                  (static_cast<u64>(bus.rdata(id, 1)) << 32);
+    }
+    bus.retire(id);
+    if (slot.discard) {
+      slot.state = IState::kIdle;
+      slot.discard = false;
+    } else {
+      slot.state = IState::kDone;
+    }
+  }
+  if (iactive_count() == 0) ihead_ = 0;
+
+  // Data port completions.
+  if (dstate_ == DState::kIdle || dstate_ == DState::kDone) return;
+  if (!bus.complete(dport_id())) return;
+
+  switch (dstate_) {
+    case DState::kBusDirect:
+      if (!dop_.write) {
+        u32 v = bus.rdata(dport_id(), 0);
+        if (dop_.size < 4) v &= (1u << (8 * dop_.size)) - 1u;
+        drdata_ = v;
+      }
+      bus.retire(dport_id());
+      dstate_ = DState::kDone;
+      break;
+    case DState::kWriteback:
+      bus.retire(dport_id());
+      start_drefill(bus);
+      break;
+    case DState::kRefill: {
+      std::vector<u32> beats(dcache_.config().line_bytes / 4);
+      for (u32 i = 0; i < beats.size(); ++i) beats[i] = bus.rdata(dport_id(), i);
+      dcache_.fill(align_down(dop_.addr, dcache_.config().line_bytes), beats);
+      bus.retire(dport_id());
+      dcache_apply();
+      dstate_ = DState::kDone;
+      break;
+    }
+    case DState::kAmoFlush:
+      // Memory is now current; run the atomic on the bus.
+      bus.retire(dport_id());
+      bus.submit(dport_id(), BusReq{.addr = dop_.addr, .bytes = 4, .amo_add = true,
+                                    .wdata = {dop_.wdata}});
+      dstate_ = DState::kAmoBus;
+      break;
+    case DState::kAmoBus:
+      drdata_ = bus.rdata(dport_id(), 0);
+      bus.retire(dport_id());
+      // Keep a resident cached copy coherent with the AMO result.
+      if (dcache_enabled() && dcache_.probe(dop_.addr)) {
+        dcache_.write(dop_.addr, drdata_ + dop_.wdata, 4);
+      }
+      dstate_ = DState::kDone;
+      break;
+    default:
+      break;
+  }
+}
+
+u32 MemSystem::debug_read(u32 addr, unsigned size, const Sram& sram,
+                          const Flash& flash) const {
+  if (itcm_.contains(addr)) return itcm_.read(addr, size);
+  if (dtcm_.contains(addr)) return dtcm_.read(addr, size);
+  if (dcache_.probe(addr)) return dcache_.read(addr, size);
+  u32 v = 0;
+  for (unsigned i = 0; i < size; ++i) {
+    const u32 a = addr + i;
+    const u8 b = is_flash(a) ? flash.read8(a) : sram.read8(a);
+    v |= static_cast<u32>(b) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace detstl::mem

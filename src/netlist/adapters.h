@@ -1,0 +1,84 @@
+#pragma once
+// Netlist-backed implementations of the CPU module interfaces. A fault
+// campaign installs these via CpuHooks to drive the pipeline from gate-level
+// logic, optionally with one injected stuck-at fault (broadcast to every
+// lane; lane 0 is read back).
+
+#include <optional>
+
+#include "netlist/modules.h"
+
+namespace detstl::netlist {
+
+class NetlistHazard final : public cpu::HazardModel {
+ public:
+  explicit NetlistHazard(const HdcuNetlist& mod)
+      : mod_(&mod), state_(mod.nl().make_state()) {}
+
+  void set_fault(std::optional<Fault> f) {
+    Netlist::clear_faults(state_);
+    if (f) Netlist::inject(state_, *f, ~0ull);
+  }
+
+  HdcuOut eval(const HdcuIn& in) override {
+    mod_->encode(in, state_);
+    mod_->nl().eval(state_);
+    return mod_->decode(state_, 0);
+  }
+
+ private:
+  const HdcuNetlist* mod_;
+  EvalState state_;
+};
+
+class NetlistForward final : public cpu::ForwardModel {
+ public:
+  explicit NetlistForward(const FwdNetlist& mod)
+      : mod_(&mod), state_(mod.nl().make_state()) {}
+
+  void set_fault(std::optional<Fault> f) {
+    Netlist::clear_faults(state_);
+    if (f) Netlist::inject(state_, *f, ~0ull);
+  }
+
+  FwdOut eval(const FwdIn& in) override {
+    mod_->encode(in, state_);
+    mod_->nl().eval(state_);
+    return mod_->decode(state_, 0);
+  }
+
+ private:
+  const FwdNetlist* mod_;
+  EvalState state_;
+};
+
+class NetlistIcu final : public cpu::IcuModel {
+ public:
+  explicit NetlistIcu(const IcuNetlist& mod)
+      : mod_(&mod), state_(mod.nl().make_state()) {}
+
+  void set_fault(std::optional<Fault> f) {
+    Netlist::clear_faults(state_);
+    if (f) Netlist::inject(state_, *f, ~0ull);
+  }
+
+  IcuOut eval(const IcuIn& in) override {
+    mod_->encode(in, state_);
+    mod_->nl().eval(state_);
+    return mod_->decode(state_, 0);
+  }
+
+  void clock(const IcuIn& in) override {
+    mod_->encode(in, state_);
+    mod_->nl().eval(state_);
+    mod_->nl().clock(state_);
+  }
+
+  void load_state(u16 state) override { mod_->load_state(state_, state); }
+
+ private:
+  const IcuNetlist* mod_;
+  EvalState state_;
+};
+
+}  // namespace detstl::netlist

@@ -1,0 +1,102 @@
+#include "netlist/modules.h"
+
+namespace detstl::netlist {
+
+Style instance_style(CoreKind kind) {
+  switch (kind) {
+    case CoreKind::kA:
+      return Style{.nand_nand = false, .buf_prob = 0.10, .seed = 0xA11CE};
+    case CoreKind::kB:
+      // Same RTL as A, different physical design: NAND-family mapping and a
+      // different buffer density/seed give a distinct fault list.
+      return Style{.nand_nand = true, .buf_prob = 0.16, .seed = 0xB0B};
+    case CoreKind::kC:
+      return Style{.nand_nand = false, .buf_prob = 0.08, .seed = 0xCA5CADE};
+  }
+  return {};
+}
+
+FwdNetlist::FwdNetlist(CoreKind kind)
+    : kind_(kind),
+      width_(kind == CoreKind::kC ? 64 : 32),
+      nl_(instance_style(kind)) {
+  const bool c64 = kind == CoreKind::kC;
+
+  // Primary inputs, port-major, in a fixed order (the encode() contract).
+  for (auto& port : ports_) {
+    for (auto& s : port.sel) s = nl_.input();
+    if (c64) port.high = nl_.input();
+    port.rf.resize(width_);
+    for (auto& n : port.rf) n = nl_.input();
+    for (auto& cand : port.cand) {
+      cand.resize(width_);
+      for (auto& n : cand) n = nl_.input();
+    }
+  }
+
+  for (auto& port : ports_) {
+    // One-hot select decode: dec[j] asserts for encoded value j+1; rf_sel for 0.
+    auto sel_is = [&](unsigned v) {
+      std::array<NetId, 3> bits;
+      for (unsigned b = 0; b < 3; ++b)
+        bits[b] = (v >> b) & 1 ? port.sel[b] : nl_.not_(port.sel[b]);
+      return nl_.and_n(bits);
+    };
+    const NetId rf_sel = sel_is(0);
+    std::array<NetId, 4> dec;
+    for (unsigned j = 0; j < 4; ++j) dec[j] = sel_is(j + 1);
+
+    // AND-OR candidate mux, bit-sliced across the datapath width.
+    std::vector<NetId> muxed(width_);
+    for (unsigned i = 0; i < width_; ++i) {
+      std::array<NetId, 4> terms;
+      for (unsigned j = 0; j < 4; ++j) terms[j] = nl_.and2(dec[j], port.cand[j][i]);
+      muxed[i] = nl_.or_n(terms);
+    }
+
+    // Core C: optional high-half extraction of the selected 64-bit value.
+    std::vector<NetId> shifted = muxed;
+    if (c64) {
+      const NetId zero = nl_.constant(false);
+      for (unsigned i = 0; i < width_; ++i) {
+        const NetId high_src = i < 32 ? muxed[i + 32] : zero;
+        shifted[i] = nl_.mux2(port.high, high_src, muxed[i]);
+      }
+    }
+
+    port.out.resize(width_);
+    for (unsigned i = 0; i < width_; ++i)
+      port.out[i] = nl_.mux2(rf_sel, port.rf[i], shifted[i]);
+
+    outputs_.insert(outputs_.end(), port.out.begin(), port.out.end());
+  }
+}
+
+void FwdNetlist::encode(const FwdIn& in, EvalState& s) const {
+  for (unsigned c = 0; c < 4; ++c) {
+    const cpu::FwdPortIn& p = in.port[c];
+    const Port& port = ports_[c];
+    const auto sel = static_cast<unsigned>(p.sel);
+    for (unsigned b = 0; b < 3; ++b)
+      s.set_input(nl_.gate(port.sel[b]).aux, (sel >> b) & 1);
+    if (port.high != kNoNet) s.set_input(nl_.gate(port.high).aux, p.high_half);
+    for (unsigned i = 0; i < width_; ++i)
+      s.set_input(nl_.gate(port.rf[i]).aux, (p.rf >> i) & 1);
+    for (unsigned j = 0; j < 4; ++j)
+      for (unsigned i = 0; i < width_; ++i)
+        s.set_input(nl_.gate(port.cand[j][i]).aux, (p.cand[j] >> i) & 1);
+  }
+}
+
+FwdOut FwdNetlist::decode(const EvalState& s, unsigned lane) const {
+  FwdOut out;
+  for (unsigned c = 0; c < 4; ++c) {
+    u64 v = 0;
+    for (unsigned i = 0; i < width_; ++i)
+      v |= static_cast<u64>(s.lane_bit(ports_[c].out[i], lane)) << i;
+    out.operand[c] = v;
+  }
+  return out;
+}
+
+}  // namespace detstl::netlist

@@ -1,0 +1,139 @@
+#include "netlist/modules.h"
+
+namespace detstl::netlist {
+
+HdcuNetlist::HdcuNetlist(CoreKind kind) : kind_(kind), nl_(instance_style(kind)) {
+  const bool c64 = kind == CoreKind::kC;
+
+  // Primary inputs: consumers then producers (the encode() contract).
+  for (auto& c : cons_) {
+    for (auto& n : c.rs) n = nl_.input();
+    c.used = nl_.input();
+    if (c64) c.is64 = nl_.input();
+  }
+  for (auto& p : prod_) {
+    for (auto& n : p.rd) n = nl_.input();
+    p.writes = nl_.input();
+    if (c64) p.is64 = nl_.input();
+    p.is_load = nl_.input();
+  }
+
+  const NetId zero = nl_.constant(false);
+
+  // Per-producer rd+1 (64-bit pair-high address), shared across consumers.
+  std::array<std::vector<NetId>, 4> rd_plus1;
+  if (c64) {
+    for (unsigned p = 0; p < 4; ++p)
+      rd_plus1[p] = nl_.inc_n(std::span<const NetId>(prod_[p].rd));
+  }
+
+  std::array<NetId, 4> stall_c{};
+
+  for (unsigned c = 0; c < 4; ++c) {
+    const Consumer& cons = cons_[c];
+    const NetId nz = nl_.or_n(std::span<const NetId>(cons.rs));
+    std::vector<NetId> rs_plus1;
+    if (c64) rs_plus1 = nl_.inc_n(std::span<const NetId>(cons.rs));
+
+    // Per-producer match / match-kind signals.
+    std::array<NetId, 4> match{}, high{}, stall_cause{};
+    for (unsigned p = 0; p < 4; ++p) {
+      const Producer& prod = prod_[p];
+      const bool dist1 = p < 2;  // EXMEM producers
+      const NetId e0 = nl_.eq_n(std::span<const NetId>(cons.rs),
+                                std::span<const NetId>(prod.rd));
+      NetId full = e0;
+      NetId hi = zero;
+      NetId partial = zero;
+      if (c64) {
+        const NetId e1 = nl_.eq_n(std::span<const NetId>(cons.rs),
+                                  std::span<const NetId>(rd_plus1[p]));
+        const NetId e2 = nl_.eq_n(std::span<const NetId>(rs_plus1),
+                                  std::span<const NetId>(prod.rd));
+        const NetId np64 = nl_.not_(prod.is64);
+        const NetId nc64 = nl_.not_(cons.is64);
+        const NetId mixed = nl_.and2(np64, cons.is64);  // 32-bit prod, 64-bit cons
+        full = nl_.and2(e0, nl_.not_(mixed));
+        hi = nl_.and_n(std::array<NetId, 3>{e1, prod.is64, nc64});
+        partial = nl_.and2(nl_.or2(e0, e2), mixed);
+      }
+      const NetId any = nl_.or_n(std::array<NetId, 3>{full, hi, partial});
+      match[p] = nl_.and_n(std::array<NetId, 4>{any, prod.writes, cons.used, nz});
+      high[p] = hi;
+      stall_cause[p] =
+          dist1 ? nl_.or2(partial, prod.is_load) : partial;  // qualified by grant
+    }
+
+    // Priority grant, youngest first: EXMEM1 > EXMEM0 > MEMWB1 > MEMWB0.
+    static constexpr unsigned kOrder[4] = {1, 0, 3, 2};
+    std::array<NetId, 4> granted{};  // indexed by producer id
+    NetId earlier = zero;
+    for (unsigned o = 0; o < 4; ++o) {
+      const unsigned p = kOrder[o];
+      granted[p] = nl_.and2(match[p], nl_.not_(earlier));
+      earlier = nl_.or2(earlier, match[p]);
+    }
+
+    // Stall if the granted producer cannot forward.
+    std::array<NetId, 4> scause;
+    for (unsigned p = 0; p < 4; ++p) scause[p] = nl_.and2(granted[p], stall_cause[p]);
+    stall_c[c] = nl_.or_n(scause);
+    const NetId notst = nl_.not_(stall_c[c]);
+
+    // Select encoding: EXMEM0=001, EXMEM1=010, MEMWB0=011, MEMWB1=100.
+    std::array<NetId, 4> g;
+    for (unsigned p = 0; p < 4; ++p) g[p] = nl_.and2(granted[p], notst);
+    sel_out_[c][0] = nl_.or2(g[0], g[2]);
+    sel_out_[c][1] = nl_.or2(g[1], g[2]);
+    sel_out_[c][2] = g[3];
+
+    if (c64) {
+      std::array<NetId, 4> gh;
+      for (unsigned p = 0; p < 4; ++p) gh[p] = nl_.and2(g[p], high[p]);
+      high_out_[c] = nl_.or_n(gh);
+    } else {
+      high_out_[c] = zero;
+    }
+  }
+
+  stall_out_ = nl_.or_n(stall_c);
+
+  for (unsigned c = 0; c < 4; ++c) {
+    outputs_.insert(outputs_.end(), sel_out_[c].begin(), sel_out_[c].end());
+    outputs_.push_back(high_out_[c]);
+  }
+  outputs_.push_back(stall_out_);
+}
+
+void HdcuNetlist::encode(const HdcuIn& in, EvalState& s) const {
+  for (unsigned c = 0; c < 4; ++c) {
+    const cpu::HdcuConsumer& hc = in.cons[c];
+    for (unsigned b = 0; b < 5; ++b)
+      s.set_input(nl_.gate(cons_[c].rs[b]).aux, (hc.rs >> b) & 1);
+    s.set_input(nl_.gate(cons_[c].used).aux, hc.used);
+    if (cons_[c].is64 != kNoNet) s.set_input(nl_.gate(cons_[c].is64).aux, hc.is64);
+  }
+  for (unsigned p = 0; p < 4; ++p) {
+    const cpu::HdcuProducer& hp = in.prod[p];
+    for (unsigned b = 0; b < 5; ++b)
+      s.set_input(nl_.gate(prod_[p].rd[b]).aux, (hp.rd >> b) & 1);
+    s.set_input(nl_.gate(prod_[p].writes).aux, hp.writes);
+    if (prod_[p].is64 != kNoNet) s.set_input(nl_.gate(prod_[p].is64).aux, hp.is64);
+    s.set_input(nl_.gate(prod_[p].is_load).aux, hp.is_load);
+  }
+}
+
+HdcuOut HdcuNetlist::decode(const EvalState& s, unsigned lane) const {
+  HdcuOut out;
+  for (unsigned c = 0; c < 4; ++c) {
+    unsigned sel = 0;
+    for (unsigned b = 0; b < 3; ++b)
+      sel |= static_cast<unsigned>(s.lane_bit(sel_out_[c][b], lane)) << b;
+    out.sel[c] = static_cast<cpu::FwdSel>(sel);
+    out.high_half[c] = s.lane_bit(high_out_[c], lane);
+  }
+  out.stall = s.lane_bit(stall_out_, lane);
+  return out;
+}
+
+}  // namespace detstl::netlist

@@ -1,0 +1,91 @@
+#include "netlist/modules.h"
+
+namespace detstl::netlist {
+
+IcuNetlist::IcuNetlist(CoreKind kind) : kind_(kind), nl_(instance_style(kind)) {
+  constexpr unsigned kN = isa::kNumIcuSources;
+
+  // Pending flops first (their Q feeds the combinational cloud).
+  for (auto& q : pending_q_) q = nl_.dff();
+
+  // Primary inputs: events, mie, clear, ack (the encode() contract).
+  for (auto& n : in_events_) n = nl_.input();
+  for (auto& n : in_mie_) n = nl_.input();
+  for (auto& n : in_clear_) n = nl_.input();
+  in_ack_ = nl_.input();
+
+  // Combinational pending view: set dominates clear.
+  std::array<NetId, kN> p_comb{}, active{};
+  for (unsigned i = 0; i < kN; ++i) {
+    const NetId set = nl_.or2(pending_q_[i], in_events_[i]);
+    const NetId clr = nl_.and2(in_clear_[i], nl_.not_(in_events_[i]));
+    p_comb[i] = nl_.and2(set, nl_.not_(clr));
+    active[i] = nl_.and2(p_comb[i], in_mie_[i]);
+  }
+
+  // Fixed-priority select (source 0 = overflow highest).
+  std::array<NetId, kN> sel{};
+  NetId earlier = nl_.constant(false);
+  for (unsigned i = 0; i < kN; ++i) {
+    sel[i] = nl_.and2(active[i], nl_.not_(earlier));
+    earlier = nl_.or2(earlier, active[i]);
+  }
+
+  // Two-stage request synchroniser: the CPU samples the delayed line.
+  const NetId raw_irq = nl_.or_n(active);
+  const NetId sync1 = nl_.dff();
+  const NetId sync2 = nl_.dff();
+  nl_.connect_dff(sync1, raw_irq);
+  nl_.connect_dff(sync2, sync1);
+  irq_out_ = sync2;
+
+  // Cause mapping: core C reports one-hot sources; cores A/B fold
+  // {overflow, div-zero} onto bit 0 and {unaligned, software} onto bit 1 —
+  // the masking the paper blames for the lower A/B ICU coverage.
+  if (kind == CoreKind::kC) {
+    cause_out_.assign(sel.begin(), sel.end());
+  } else {
+    cause_out_.push_back(nl_.or2(sel[0], sel[1]));
+    cause_out_.push_back(nl_.or2(sel[2], sel[3]));
+  }
+
+  // Next-state: recognition (ack) clears the selected source.
+  for (unsigned i = 0; i < kN; ++i) {
+    const NetId take = nl_.and2(in_ack_, sel[i]);
+    nl_.connect_dff(pending_q_[i], nl_.and2(p_comb[i], nl_.not_(take)));
+    pending_out_[i] = p_comb[i];
+  }
+
+  outputs_.push_back(irq_out_);
+  outputs_.insert(outputs_.end(), cause_out_.begin(), cause_out_.end());
+  outputs_.insert(outputs_.end(), pending_out_.begin(), pending_out_.end());
+}
+
+void IcuNetlist::encode(const IcuIn& in, EvalState& s) const {
+  for (unsigned i = 0; i < isa::kNumIcuSources; ++i) {
+    s.set_input(nl_.gate(in_events_[i]).aux, (in.events >> i) & 1);
+    s.set_input(nl_.gate(in_mie_[i]).aux, (in.mie >> i) & 1);
+    s.set_input(nl_.gate(in_clear_[i]).aux, (in.clear >> i) & 1);
+  }
+  s.set_input(nl_.gate(in_ack_).aux, in.ack);
+}
+
+IcuOut IcuNetlist::decode(const EvalState& s, unsigned lane) const {
+  IcuOut out;
+  out.irq = s.lane_bit(irq_out_, lane);
+  for (unsigned b = 0; b < cause_out_.size(); ++b)
+    out.cause |= static_cast<u8>(s.lane_bit(cause_out_[b], lane)) << b;
+  for (unsigned i = 0; i < isa::kNumIcuSources; ++i)
+    out.pending |= static_cast<u8>(s.lane_bit(pending_out_[i], lane)) << i;
+  return out;
+}
+
+void IcuNetlist::load_state(EvalState& s, u16 state) const {
+  for (unsigned i = 0; i < isa::kNumIcuSources; ++i)
+    s.flops[nl_.gate(pending_q_[i]).aux] = (state >> i) & 1 ? ~0ull : 0ull;
+  // Synchroniser stages are the two flops allocated after the pending bits.
+  s.flops[isa::kNumIcuSources] = (state >> 4) & 1 ? ~0ull : 0ull;
+  s.flops[isa::kNumIcuSources + 1] = (state >> 5) & 1 ? ~0ull : 0ull;
+}
+
+}  // namespace detstl::netlist

@@ -1,0 +1,99 @@
+#pragma once
+// Triple-core SoC: cores A and B (32-bit) and core C (64-bit extension),
+// each with private TCMs and L1 caches, sharing one bus to Flash and SRAM —
+// the topology of the paper's industrial device.
+//
+// The whole SoC is a value type: copying it snapshots the complete
+// architectural and micro-architectural state (the fault-simulation engine
+// uses this for mid-run checkpoints). The only shared state is the Flash ROM
+// image (immutable during simulation, held by shared_ptr). CPU hook pointers
+// are copied verbatim; campaigns re-install their own hooks after restore.
+
+#include <array>
+#include <vector>
+
+#include "cpu/cpu.h"
+#include "isa/program.h"
+#include "mem/bus.h"
+
+namespace detstl::soc {
+
+inline constexpr unsigned kMaxCores = 3;
+
+struct SocConfig {
+  unsigned num_cores = 3;
+  std::array<isa::CoreKind, kMaxCores> kinds = {isa::CoreKind::kA, isa::CoreKind::kB,
+                                                isa::CoreKind::kC};
+  mem::MemSystemConfig mem{};
+  /// Cycles each core is held in reset after reset() — the "initial SoC
+  /// configuration" that staggers the cores' bus activity.
+  std::array<u32, kMaxCores> start_delay = {0, 0, 0};
+};
+
+/// Per-core result mailbox in shared SRAM (software convention; see
+/// core/wrappers). Word 0: status, word 1: signature, word 2: aux.
+inline constexpr u32 kMailboxBase = mem::kSramBase;
+inline constexpr u32 kMailboxStride = 32;
+inline constexpr u32 kStatusRunning = 0;
+inline constexpr u32 kStatusPass = 1;
+inline constexpr u32 kStatusFail = 2;
+
+inline u32 mailbox_addr(unsigned core_id) { return kMailboxBase + core_id * kMailboxStride; }
+
+class Soc {
+ public:
+  explicit Soc(const SocConfig& cfg = {});
+
+  const SocConfig& config() const { return cfg_; }
+  unsigned num_cores() const { return cfg_.num_cores; }
+
+  cpu::Cpu& core(unsigned i) { return cores_[i]; }
+  const cpu::Cpu& core(unsigned i) const { return cores_[i]; }
+  mem::Flash& flash() { return flash_; }
+  mem::Sram& sram() { return sram_; }
+  mem::SharedBus& bus() { return bus_; }
+
+  /// Load a program image into Flash/SRAM (before reset; not timed).
+  void load_program(const isa::Program& prog);
+
+  /// Set a core's boot address and mark it active. Inactive cores are
+  /// "switched off" (paper Sec. IV-B) and generate no bus traffic.
+  void set_boot(unsigned core_id, u32 pc);
+  void set_active(unsigned core_id, bool active);
+  bool is_active(unsigned core_id) const { return active_[core_id]; }
+
+  /// Reset all cores (active ones boot after their start_delay).
+  void reset();
+
+  /// One SoC clock.
+  void tick();
+
+  u64 now() const { return now_; }
+
+  /// True when every active core has halted.
+  bool all_halted() const;
+
+  struct RunResult {
+    bool timed_out = false;
+    u64 cycles = 0;
+  };
+  /// Run until all active cores halt or the watchdog expires.
+  RunResult run(u64 max_cycles);
+
+  // --- debug (zero-time) memory access ------------------------------------------
+  u32 debug_read32(u32 addr) const;            // Flash/SRAM, cache-coherent view
+  u32 debug_read32(unsigned core_id, u32 addr) const;  // adds TCM visibility
+  void debug_write32(u32 addr, u32 value);     // SRAM only
+
+ private:
+  SocConfig cfg_;
+  std::vector<cpu::Cpu> cores_;
+  std::array<bool, kMaxCores> active_{};
+  std::array<u32, kMaxCores> boot_pc_{};
+  mem::Flash flash_;
+  mem::Sram sram_;
+  mem::SharedBus bus_;
+  u64 now_ = 0;
+};
+
+}  // namespace detstl::soc

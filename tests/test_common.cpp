@@ -1,0 +1,100 @@
+// Common utilities: bit helpers, deterministic RNG, table rendering.
+
+#include <gtest/gtest.h>
+
+#include "common/bitutil.h"
+#include "common/rng.h"
+#include "common/table.h"
+
+namespace detstl {
+namespace {
+
+TEST(BitUtil, BitsAndSext) {
+  EXPECT_EQ(bits(0xdeadbeef, 31, 28), 0xdu);
+  EXPECT_EQ(bits(0xdeadbeef, 7, 0), 0xefu);
+  EXPECT_EQ(bits(0xffffffff, 31, 0), 0xffffffffu);
+  EXPECT_EQ(bit(0x80000000u, 31), 1u);
+  EXPECT_EQ(sext(0x8000, 16), -32768);
+  EXPECT_EQ(sext(0x7fff, 16), 32767);
+  EXPECT_EQ(sext(0xff, 8), -1);
+  EXPECT_EQ(zext(0xffff1234, 16), 0x1234u);
+}
+
+TEST(BitUtil, FitsRanges) {
+  EXPECT_TRUE(fits_signed(32767, 16));
+  EXPECT_FALSE(fits_signed(32768, 16));
+  EXPECT_TRUE(fits_signed(-32768, 16));
+  EXPECT_FALSE(fits_signed(-32769, 16));
+  EXPECT_TRUE(fits_unsigned(65535, 16));
+  EXPECT_FALSE(fits_unsigned(65536, 16));
+}
+
+TEST(BitUtil, Alignment) {
+  EXPECT_EQ(align_down(0x1234, 16), 0x1230u);
+  EXPECT_EQ(align_up(0x1234, 16), 0x1240u);
+  EXPECT_EQ(align_up(0x1240, 16), 0x1240u);
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(96));
+  EXPECT_EQ(log2u(4096), 12u);
+}
+
+TEST(Rng, DeterministicStreams) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const u64 va = a.next_u64();
+    EXPECT_EQ(va, b.next_u64());
+    (void)c.next_u64();
+  }
+  Rng a2(42), c2(43);
+  EXPECT_NE(a2.next_u64(), c2.next_u64());
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+    const u64 v = r.range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+  // chance(): rough sanity on the acceptance rate.
+  unsigned hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.chance(0.25);
+  EXPECT_NEAR(hits, 2500u, 300u);
+}
+
+TEST(TextTable, FormatsAndAligns) {
+  TextTable t("Title");
+  t.header({"name", "value"});
+  t.row({"alpha", TextTable::fmt_int(1234567)});
+  t.separator();
+  t.row({"beta", TextTable::fmt_fixed(3.14159, 2)});
+  t.row({"gamma", TextTable::fmt_hex(0xbeef)});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("1,234,567"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_NE(s.find("0x0000beef"), std::string::npos);
+  // All rendered lines of the box have the same width.
+  std::size_t width = 0;
+  std::size_t pos = s.find('\n') + 1;  // skip the title line
+  while (pos < s.size()) {
+    const std::size_t nl = s.find('\n', pos);
+    const std::size_t len = nl - pos;
+    if (width == 0) width = len;
+    EXPECT_EQ(len, width);
+    pos = nl + 1;
+  }
+}
+
+TEST(TextTable, NegativeAndShortRows) {
+  EXPECT_EQ(TextTable::fmt_int(-1234567), "-1,234,567");
+  EXPECT_EQ(TextTable::fmt_int(0), "0");
+  TextTable t("");
+  t.header({"a", "b", "c"});
+  t.row({"only-one"});  // short rows pad with empty cells
+  EXPECT_NE(t.str().find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace detstl

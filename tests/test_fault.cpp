@@ -1,0 +1,121 @@
+// Fault-simulation engine: detection of known-bad faults, excitation
+// screening soundness, checkpoint-placement invariance (the engine's central
+// correctness property), marker-mode loading-loop immunity, and sampling.
+
+#include <gtest/gtest.h>
+
+#include "core/routines.h"
+#include "exp/experiments.h"
+#include "fault/report.h"
+
+namespace detstl::fault {
+namespace {
+
+using core::WrapperKind;
+
+CampaignResult run_icu_campaign(WrapperKind w, unsigned cores, u32 stride,
+                                u32 checkpoint_every) {
+  const auto routine = core::make_icu_test();
+  exp::Scenario sc{cores, {0, 3, 7}, 0, 0, "t"};
+  auto tests = exp::build_scenario_tests(*routine, w, sc, 0, false);
+  CampaignConfig cc;
+  cc.module = Module::kIcu;
+  cc.core_id = 0;
+  cc.kind = isa::CoreKind::kA;
+  cc.fault_stride = stride;
+  cc.checkpoint_every = checkpoint_every;
+  cc.signature_from_marker = w == WrapperKind::kCacheBased;
+  Campaign campaign(cc, exp::scenario_factory(std::move(tests), sc, 0));
+  return campaign.run();
+}
+
+TEST(Campaign, FaultFreeRunPassesAndFaultsAreFound) {
+  const auto res = run_icu_campaign(WrapperKind::kPlain, 1, 2, 4096);
+  EXPECT_EQ(res.good_verdict.status, soc::kStatusPass);
+  EXPECT_GT(res.total_faults, 100u);
+  EXPECT_GT(res.detected, res.simulated_faults / 2);
+  EXPECT_LE(res.detected, res.excited);
+  EXPECT_EQ(res.detected,
+            res.detected_signature + res.detected_verdict + res.detected_watchdog);
+  EXPECT_GT(res.coverage_percent(), 50.0);
+  EXPECT_LE(res.coverage_percent(), 100.0);
+}
+
+TEST(Campaign, CheckpointPlacementDoesNotChangeOutcomes) {
+  // The same campaign with dense and sparse checkpoints must classify every
+  // fault identically: restoring from a checkpoint is a pure optimisation.
+  const auto dense = run_icu_campaign(WrapperKind::kCacheBased, 3, 3, 256);
+  const auto sparse = run_icu_campaign(WrapperKind::kCacheBased, 3, 3, 1'000'000);
+  ASSERT_EQ(dense.outcomes.size(), sparse.outcomes.size());
+  for (std::size_t i = 0; i < dense.outcomes.size(); ++i) {
+    const bool d1 = dense.outcomes[i] != FaultOutcome::kNotExcited &&
+                    dense.outcomes[i] != FaultOutcome::kUndetected;
+    const bool d2 = sparse.outcomes[i] != FaultOutcome::kNotExcited &&
+                    sparse.outcomes[i] != FaultOutcome::kUndetected;
+    ASSERT_EQ(d1, d2) << "fault " << i << " detection differs with checkpointing";
+  }
+  EXPECT_EQ(dense.detected, sparse.detected);
+}
+
+TEST(Campaign, StrideSamplesDeterministically) {
+  const auto full = run_icu_campaign(WrapperKind::kPlain, 1, 1, 4096);
+  const auto half = run_icu_campaign(WrapperKind::kPlain, 1, 2, 4096);
+  EXPECT_EQ(full.total_faults, half.total_faults);
+  EXPECT_EQ(half.simulated_faults, (full.total_faults + 1) / 2);
+  // The sampled estimate tracks the exhaustive coverage.
+  EXPECT_NEAR(half.coverage_percent(), full.coverage_percent(), 10.0);
+}
+
+TEST(Campaign, ExcitedNeverLessThanDetected) {
+  const auto res = run_icu_campaign(WrapperKind::kCacheBased, 3, 2, 4096);
+  EXPECT_GE(res.excited, res.detected);
+  unsigned not_excited = 0;
+  for (auto o : res.outcomes)
+    if (o == FaultOutcome::kNotExcited) ++not_excited;
+  EXPECT_EQ(not_excited, res.simulated_faults - res.excited);
+}
+
+TEST(Campaign, HdcuStallStuckHighIsCaughtByWatchdogOrVerdict) {
+  // The HDCU's stall output stuck at 1 wedges the pipeline: the in-field
+  // observation is a watchdog reset. Verify the campaign classifies at least
+  // one fault as watchdog-detected in an HDCU campaign.
+  const auto routine = core::make_fwd_test(true);
+  exp::Scenario sc{1, {0, 0, 0}, 0, 0, "t"};
+  auto tests =
+      exp::build_scenario_tests(*routine, WrapperKind::kPlain, sc, 0, true);
+  CampaignConfig cc;
+  cc.module = Module::kHdcu;
+  cc.core_id = 0;
+  cc.kind = isa::CoreKind::kA;
+  cc.fault_stride = 2;
+  Campaign campaign(cc, exp::scenario_factory(std::move(tests), sc, 0));
+  const auto res = campaign.run();
+  EXPECT_GT(res.detected_watchdog, 0u);
+  EXPECT_GT(res.coverage_percent(), 30.0);
+}
+
+TEST(Campaign, ModuleNames) {
+  EXPECT_STREQ(module_name(Module::kFwd), "forwarding-logic");
+  EXPECT_STREQ(module_name(Module::kHdcu), "hdcu");
+  EXPECT_STREQ(module_name(Module::kIcu), "icu");
+}
+
+TEST(Report, GateClassTotalsMatchCampaign) {
+  const auto res = run_icu_campaign(WrapperKind::kPlain, 1, 2, 4096);
+  const netlist::IcuNetlist icu(isa::CoreKind::kA);
+  const auto rep = make_report(res, icu.nl(), 2);
+  u64 faults = 0, detected = 0;
+  for (const auto& c : rep.by_gate_class) {
+    faults += c.faults;
+    detected += c.detected;
+    EXPECT_GE(c.faults, c.detected);
+  }
+  EXPECT_EQ(faults, res.simulated_faults);
+  EXPECT_EQ(detected, res.detected);
+  const std::string text = render_report(rep, "icu");
+  EXPECT_NE(text.find("fault coverage"), std::string::npos);
+  EXPECT_NE(text.find("dff"), std::string::npos);  // ICU has flops
+}
+
+}  // namespace
+}  // namespace detstl::fault

@@ -1,0 +1,367 @@
+// Netlist engine + module netlists: gate evaluation, DFFs, fault overlays,
+// and exhaustive/randomised equivalence against the behavioural models.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "netlist/adapters.h"
+
+namespace detstl::netlist {
+namespace {
+
+using cpu::FwdSel;
+
+// ----------------------------------------------------------------------------
+// Engine basics
+// ----------------------------------------------------------------------------
+
+TEST(NetlistEngine, GatesComputeTruthTables) {
+  Netlist nl;
+  const NetId a = nl.input();
+  const NetId b = nl.input();
+  const NetId g_and = nl.and2(a, b);
+  const NetId g_or = nl.or2(a, b);
+  const NetId g_xor = nl.xor2(a, b);
+  const NetId g_nand = nl.nand2(a, b);
+  const NetId g_nor = nl.nor2(a, b);
+  const NetId g_xnor = nl.xnor2(a, b);
+  const NetId g_not = nl.not_(a);
+  EvalState s = nl.make_state();
+  for (unsigned av = 0; av < 2; ++av) {
+    for (unsigned bv = 0; bv < 2; ++bv) {
+      s.set_input(0, av);
+      s.set_input(1, bv);
+      nl.eval(s);
+      EXPECT_EQ(s.lane_bit(g_and, 0), (av & bv) != 0);
+      EXPECT_EQ(s.lane_bit(g_or, 0), (av | bv) != 0);
+      EXPECT_EQ(s.lane_bit(g_xor, 0), (av ^ bv) != 0);
+      EXPECT_EQ(s.lane_bit(g_nand, 0), !(av & bv));
+      EXPECT_EQ(s.lane_bit(g_nor, 0), !(av | bv));
+      EXPECT_EQ(s.lane_bit(g_xnor, 0), !(av ^ bv));
+      EXPECT_EQ(s.lane_bit(g_not, 0), !av);
+    }
+  }
+}
+
+TEST(NetlistEngine, DffHoldsState) {
+  Netlist nl;
+  const NetId q = nl.dff();
+  const NetId d = nl.input();
+  nl.connect_dff(q, nl.xor2(q, d));  // toggle flop
+  EvalState s = nl.make_state();
+  s.set_input(0, true);
+  nl.eval(s);
+  EXPECT_FALSE(s.lane_bit(q, 0));
+  nl.clock(s);
+  nl.eval(s);
+  EXPECT_TRUE(s.lane_bit(q, 0));
+  nl.clock(s);
+  nl.eval(s);
+  EXPECT_FALSE(s.lane_bit(q, 0));
+}
+
+TEST(NetlistEngine, FaultOverlayPerLane) {
+  Netlist nl;
+  const NetId a = nl.input();
+  const NetId out = nl.buf(a);
+  EvalState s = nl.make_state();
+  s.set_input(0, false);
+  Netlist::inject(s, Fault{out, true}, 0b10);  // SA1 in lane 1 only
+  nl.eval(s);
+  EXPECT_FALSE(s.lane_bit(out, 0));
+  EXPECT_TRUE(s.lane_bit(out, 1));
+  Netlist::clear_faults(s);
+  nl.eval(s);
+  EXPECT_FALSE(s.lane_bit(out, 1));
+}
+
+TEST(NetlistEngine, Mux2BothStyles) {
+  for (bool nn : {false, true}) {
+    Netlist nl(Style{.nand_nand = nn, .buf_prob = 0.0, .seed = 3});
+    const NetId sel = nl.input();
+    const NetId a = nl.input();
+    const NetId b = nl.input();
+    const NetId m = nl.mux2(sel, a, b);
+    EvalState s = nl.make_state();
+    for (unsigned v = 0; v < 8; ++v) {
+      s.set_input(0, v & 1);
+      s.set_input(1, (v >> 1) & 1);
+      s.set_input(2, (v >> 2) & 1);
+      nl.eval(s);
+      const bool expect = (v & 1) ? ((v >> 1) & 1) : ((v >> 2) & 1);
+      EXPECT_EQ(s.lane_bit(m, 0), expect) << "style " << nn << " v " << v;
+    }
+  }
+}
+
+TEST(NetlistEngine, IncrementerWraps) {
+  Netlist nl;
+  std::vector<NetId> in(5);
+  for (auto& n : in) n = nl.input();
+  const auto out = nl.inc_n(in);
+  EvalState s = nl.make_state();
+  for (u32 v = 0; v < 32; ++v) {
+    for (unsigned b = 0; b < 5; ++b) s.set_input(b, (v >> b) & 1);
+    nl.eval(s);
+    u32 got = 0;
+    for (unsigned b = 0; b < 5; ++b) got |= static_cast<u32>(s.lane_bit(out[b], 0)) << b;
+    EXPECT_EQ(got, (v + 1) % 32);
+  }
+}
+
+TEST(NetlistEngine, BufferInsertionGrowsFaultList) {
+  Netlist plain(Style{});
+  Netlist buffered(Style{.nand_nand = false, .buf_prob = 0.5, .seed = 9});
+  auto build = [](Netlist& nl) {
+    const NetId a = nl.input();
+    const NetId b = nl.input();
+    NetId x = nl.and2(a, b);
+    for (int i = 0; i < 20; ++i) x = nl.or2(x, nl.and2(a, b));
+    return x;
+  };
+  build(plain);
+  build(buffered);
+  EXPECT_GT(buffered.fault_list().size(), plain.fault_list().size());
+}
+
+TEST(NetlistEngine, WideAndOrEqAgainstReference) {
+  Rng rng(55);
+  for (int trial = 0; trial < 50; ++trial) {
+    const unsigned n = 1 + static_cast<unsigned>(rng.below(12));
+    Netlist nl;
+    std::vector<NetId> a_in(n), b_in(n);
+    for (auto& x : a_in) x = nl.input();
+    for (auto& x : b_in) x = nl.input();
+    const NetId all = nl.and_n(a_in);
+    const NetId any = nl.or_n(a_in);
+    const NetId eq = nl.eq_n(a_in, b_in);
+    EvalState s = nl.make_state();
+    for (int vec = 0; vec < 20; ++vec) {
+      u32 av = 0, bv = 0;
+      for (unsigned i = 0; i < n; ++i) {
+        const bool ab = rng.chance(0.5), bb = rng.chance(0.5);
+        av |= static_cast<u32>(ab) << i;
+        bv |= static_cast<u32>(bb) << i;
+        s.set_input(i, ab);
+        s.set_input(n + i, bb);
+      }
+      nl.eval(s);
+      const u32 mask = n >= 32 ? ~0u : ((1u << n) - 1);
+      EXPECT_EQ(s.lane_bit(all, 0), (av & mask) == mask);
+      EXPECT_EQ(s.lane_bit(any, 0), av != 0);
+      EXPECT_EQ(s.lane_bit(eq, 0), av == bv);
+    }
+  }
+}
+
+TEST(NetlistEngine, FaultListExcludesConstants) {
+  Netlist nl;
+  const NetId c0 = nl.constant(false);
+  const NetId c1 = nl.constant(true);
+  const NetId in = nl.input();
+  nl.and2(in, nl.or2(c0, c1));
+  for (const Fault& f : nl.fault_list()) {
+    EXPECT_NE(f.net, c0);
+    EXPECT_NE(f.net, c1);
+  }
+  // Both polarities of every non-constant net.
+  EXPECT_EQ(nl.fault_list().size(), 2 * (nl.num_nets() - 2));
+}
+
+TEST(NetlistEngine, LaneIndependenceUnderDistinctFaults) {
+  // Two different faults in two lanes must not interact: each lane behaves
+  // exactly like a single-fault machine.
+  Netlist nl;
+  const NetId a = nl.input();
+  const NetId b = nl.input();
+  const NetId x = nl.xor2(a, b);
+  const NetId y = nl.and2(x, a);
+  EvalState multi = nl.make_state();
+  Netlist::inject(multi, Fault{x, true}, 1ull << 0);
+  Netlist::inject(multi, Fault{y, false}, 1ull << 1);
+  for (unsigned v = 0; v < 4; ++v) {
+    multi.set_input(0, v & 1);
+    multi.set_input(1, (v >> 1) & 1);
+    nl.eval(multi);
+    for (unsigned lane = 0; lane < 2; ++lane) {
+      EvalState solo = nl.make_state();
+      Netlist::inject(solo, lane == 0 ? Fault{x, true} : Fault{y, false}, ~0ull);
+      solo.set_input(0, v & 1);
+      solo.set_input(1, (v >> 1) & 1);
+      nl.eval(solo);
+      EXPECT_EQ(multi.lane_bit(y, lane), solo.lane_bit(y, 0))
+          << "v=" << v << " lane=" << lane;
+    }
+  }
+}
+
+// ----------------------------------------------------------------------------
+// Random CPU-reachable stimulus generators
+// ----------------------------------------------------------------------------
+
+cpu::HdcuIn random_hdcu_in(Rng& rng, CoreKind kind) {
+  cpu::HdcuIn in;
+  const bool c64 = kind == CoreKind::kC;
+  for (auto& c : in.cons) {
+    c.rs = static_cast<u8>(rng.below(32));
+    c.used = rng.chance(0.8);
+    c.is64 = c64 && rng.chance(0.3);
+    if (c.is64) c.rs &= ~1u;
+  }
+  for (auto& p : in.prod) {
+    p.rd = static_cast<u8>(rng.below(32));
+    p.writes = rng.chance(0.7) && p.rd != 0;  // CPU invariant: writes => rd != 0
+    p.is64 = c64 && rng.chance(0.3);
+    if (p.is64) p.rd &= ~1u;
+    p.is_load = rng.chance(0.3);
+  }
+  return in;
+}
+
+cpu::FwdIn random_fwd_in(Rng& rng, CoreKind kind) {
+  cpu::FwdIn in;
+  const bool c64 = kind == CoreKind::kC;
+  const u64 mask = c64 ? ~0ull : 0xffffffffull;
+  for (auto& p : in.port) {
+    p.rf = rng.next_u64() & mask;
+    for (auto& c : p.cand) c = rng.next_u64() & mask;
+    p.sel = static_cast<FwdSel>(rng.below(5));
+    p.high_half = c64 && p.sel != FwdSel::kRegFile && rng.chance(0.25);
+  }
+  return in;
+}
+
+cpu::IcuIn random_icu_in(Rng& rng) {
+  cpu::IcuIn in;
+  in.events = static_cast<u8>(rng.below(16));
+  in.mie = static_cast<u8>(rng.below(16));
+  in.ack = rng.chance(0.3);
+  in.clear = static_cast<u8>(rng.below(16));
+  return in;
+}
+
+// ----------------------------------------------------------------------------
+// Equivalence: netlist == behavioural (parameterised over core kinds)
+// ----------------------------------------------------------------------------
+
+class PerCore : public ::testing::TestWithParam<int> {
+ protected:
+  CoreKind kind() const { return static_cast<CoreKind>(GetParam()); }
+};
+
+TEST_P(PerCore, HdcuNetlistMatchesBehavioral) {
+  const HdcuNetlist mod(kind());
+  NetlistHazard hz(mod);
+  Rng rng(42 + GetParam());
+  for (int i = 0; i < 3000; ++i) {
+    const cpu::HdcuIn in = random_hdcu_in(rng, kind());
+    const cpu::HdcuOut want = cpu::hdcu_behavioral(kind(), in);
+    const cpu::HdcuOut got = hz.eval(in);
+    ASSERT_EQ(got, want) << "iteration " << i;
+  }
+}
+
+TEST_P(PerCore, FwdNetlistMatchesBehavioral) {
+  const FwdNetlist mod(kind());
+  NetlistForward fw(mod);
+  Rng rng(137 + GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    const cpu::FwdIn in = random_fwd_in(rng, kind());
+    const cpu::FwdOut want = cpu::fwd_behavioral(in);
+    const cpu::FwdOut got = fw.eval(in);
+    ASSERT_EQ(got, want) << "iteration " << i;
+  }
+}
+
+TEST_P(PerCore, IcuNetlistMatchesBehavioralSequence) {
+  const IcuNetlist mod(kind());
+  NetlistIcu ni(mod);
+  cpu::IcuState behav(kind());
+  Rng rng(7 + GetParam());
+  for (int i = 0; i < 5000; ++i) {
+    const cpu::IcuIn in = random_icu_in(rng);
+    const cpu::IcuOut want = behav.eval(in);
+    const cpu::IcuOut got = ni.eval(in);
+    ASSERT_EQ(got, want) << "iteration " << i;
+    behav.clock(in);
+    ni.clock(in);
+  }
+}
+
+TEST_P(PerCore, IcuLoadStateSeedsFlops) {
+  const IcuNetlist mod(kind());
+  NetlistIcu ni(mod);
+  // Pending sources 0 and 2, both synchroniser stages set (bits 4/5).
+  ni.load_state(0b0101 | (1u << 4) | (1u << 5));
+  cpu::IcuIn in;
+  in.mie = 0xf;
+  const cpu::IcuOut out = ni.eval(in);
+  EXPECT_TRUE(out.irq);
+  EXPECT_EQ(out.pending, 0b0101);
+
+  // Without the synchroniser stages the request line lags by two clocks.
+  NetlistIcu lagged(mod);
+  lagged.load_state(0b0101);
+  EXPECT_FALSE(lagged.eval(in).irq);
+  lagged.clock(in);
+  lagged.clock(in);
+  EXPECT_TRUE(lagged.eval(in).irq);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, PerCore, ::testing::Values(0, 1, 2));
+
+// ----------------------------------------------------------------------------
+// Fault behaviour of the module netlists
+// ----------------------------------------------------------------------------
+
+TEST(ModuleFaults, StuckStallForcesPermanentStall) {
+  const HdcuNetlist mod(CoreKind::kA);
+  NetlistHazard hz(mod);
+  // The stall output is the last entry of outputs().
+  hz.set_fault(Fault{mod.outputs().back(), true});
+  cpu::HdcuIn in;  // empty packet: behaviourally no stall
+  EXPECT_TRUE(hz.eval(in).stall);
+  hz.set_fault(std::nullopt);
+  EXPECT_FALSE(hz.eval(in).stall);
+}
+
+TEST(ModuleFaults, FwdOutputBitStuck) {
+  const FwdNetlist mod(CoreKind::kA);
+  NetlistForward fw(mod);
+  fw.set_fault(Fault{mod.outputs()[0], true});  // port0 bit0 SA1
+  cpu::FwdIn in;
+  in.port[0].rf = 0;
+  in.port[0].sel = FwdSel::kRegFile;
+  EXPECT_EQ(fw.eval(in).operand[0] & 1, 1u);
+}
+
+TEST(ModuleFaults, IcuPendingStuckLowNeverInterrupts) {
+  const IcuNetlist mod(CoreKind::kC);
+  NetlistIcu ni(mod);
+  // Find the irq output (first entry) and force it low.
+  ni.set_fault(Fault{mod.outputs()[0], false});
+  cpu::IcuIn in;
+  in.events = 0x1;
+  in.mie = 0xf;
+  EXPECT_FALSE(ni.eval(in).irq);
+}
+
+TEST(ModuleStats, FaultListSizes) {
+  // Not a functional check: documents the scale of the structural models and
+  // guards against accidental collapse of the netlists.
+  for (int k = 0; k < 3; ++k) {
+    const auto kind = static_cast<CoreKind>(k);
+    const FwdNetlist fwd(kind);
+    const HdcuNetlist hdcu(kind);
+    const IcuNetlist icu(kind);
+    EXPECT_GT(fwd.nl().fault_list().size(), 1000u) << "fwd core " << k;
+    EXPECT_GT(hdcu.nl().fault_list().size(), 400u) << "hdcu core " << k;
+    EXPECT_GT(icu.nl().fault_list().size(), 80u) << "icu core " << k;
+  }
+  // Cores A and B: same function, different instantiation -> different lists.
+  EXPECT_NE(FwdNetlist(CoreKind::kA).nl().fault_list().size(),
+            FwdNetlist(CoreKind::kB).nl().fault_list().size());
+}
+
+}  // namespace
+}  // namespace detstl::netlist

@@ -1,0 +1,393 @@
+// Pipeline correctness: directed tests for forwarding, hazards, dual issue,
+// branches, memory ops, counters — plus a randomized differential sweep
+// against the functional reference executor (the architectural oracle).
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "isa/disasm.h"
+#include "isa/refexec.h"
+#include "testutil.h"
+
+namespace detstl {
+namespace {
+
+using isa::Assembler;
+using isa::Op;
+using namespace isa;  // register names
+
+// ----------------------------------------------------------------------------
+// Directed tests
+// ----------------------------------------------------------------------------
+
+TEST(Pipeline, BasicAluAndHalt) {
+  Assembler a(mem::kFlashBase);
+  a.addi(R1, R0, 5);
+  a.addi(R2, R0, 7);
+  a.add(R3, R1, R2);
+  a.halt();
+  auto s = test::run_single_core(a.assemble());
+  EXPECT_TRUE(s.core(0).halted());
+  EXPECT_EQ(s.core(0).reg(3), 12u);
+}
+
+TEST(Pipeline, ForwardingChainEveryDistance) {
+  // r1 -> r2 -> r3 -> r4, each depending on the previous result.
+  Assembler a(mem::kFlashBase);
+  a.addi(R1, R0, 1);
+  a.addi(R2, R1, 1);
+  a.addi(R3, R2, 1);
+  a.addi(R4, R3, 1);
+  a.addi(R5, R4, 1);
+  a.addi(R6, R5, 1);
+  a.halt();
+  auto s = test::run_single_core(a.assemble());
+  EXPECT_EQ(s.core(0).reg(6), 6u);
+}
+
+TEST(Pipeline, LoadUseStallProducesCorrectValue) {
+  Assembler a(mem::kFlashBase);
+  a.li(R10, mem::kDtcmBase);
+  a.addi(R1, R0, 99);
+  a.sw(R1, R10, 0);
+  a.lw(R2, R10, 0);
+  a.add(R3, R2, R2);  // load-use: needs the stall
+  a.halt();
+  auto s = test::run_single_core(a.assemble());
+  EXPECT_EQ(s.core(0).reg(3), 198u);
+  EXPECT_GE(s.core(0).perf().hdcu_stalls, 1u);
+}
+
+TEST(Pipeline, StoreDataForwarded) {
+  Assembler a(mem::kFlashBase);
+  a.li(R10, mem::kDtcmBase);
+  a.addi(R1, R0, 42);
+  a.sw(R1, R10, 4);  // r1 produced two instructions earlier
+  a.lw(R2, R10, 4);
+  a.halt();
+  auto s = test::run_single_core(a.assemble());
+  EXPECT_EQ(s.core(0).reg(2), 42u);
+}
+
+TEST(Pipeline, TakenAndNotTakenBranches) {
+  Assembler a(mem::kFlashBase);
+  a.addi(R1, R0, 3);
+  a.addi(R2, R0, 0);
+  a.label("loop");
+  a.addi(R2, R2, 10);
+  a.addi(R1, R1, -1);
+  a.bne(R1, R0, "loop");
+  a.addi(R3, R2, 1);
+  a.halt();
+  auto s = test::run_single_core(a.assemble());
+  EXPECT_EQ(s.core(0).reg(2), 30u);
+  EXPECT_EQ(s.core(0).reg(3), 31u);
+}
+
+TEST(Pipeline, JalAndJalr) {
+  Assembler a(mem::kFlashBase);
+  a.jal("func");
+  a.addi(R5, R5, 100);  // return point
+  a.halt();
+  a.label("func");
+  a.addi(R5, R0, 1);
+  a.ret();
+  auto s = test::run_single_core(a.assemble());
+  EXPECT_EQ(s.core(0).reg(5), 101u);
+}
+
+TEST(Pipeline, DualIssueThroughput) {
+  // Independent ALU ops from ITCM-like conditions (cached) should sustain
+  // close to 2 instructions per cycle.
+  Assembler a(mem::kFlashBase);
+  a.csrw(Csr::kCacheCfg, R0);  // ensure known state
+  for (int i = 0; i < 100; ++i) {
+    a.addi(R1, R1, 1);
+    a.addi(R2, R2, 1);
+  }
+  a.halt();
+  auto s = test::run_single_core(a.assemble());
+  EXPECT_EQ(s.core(0).reg(1), 100u);
+  EXPECT_EQ(s.core(0).reg(2), 100u);
+}
+
+TEST(Pipeline, SamePacketRawSplits) {
+  Assembler a(mem::kFlashBase);
+  a.align(8);
+  a.addi(R1, R0, 5);
+  a.addi(R2, R1, 1);  // same packet, RAW -> split
+  a.halt();
+  auto s = test::run_single_core(a.assemble());
+  EXPECT_EQ(s.core(0).reg(2), 6u);
+  EXPECT_GE(s.core(0).perf().splits, 1u);
+}
+
+TEST(Pipeline, DivideStallsButComputes) {
+  Assembler a(mem::kFlashBase);
+  a.addi(R1, R0, 100);
+  a.addi(R2, R0, 7);
+  a.div(R3, R1, R2);
+  a.rem(R4, R1, R2);
+  a.add(R5, R3, R4);  // depends on both
+  a.halt();
+  auto s = test::run_single_core(a.assemble());
+  EXPECT_EQ(s.core(0).reg(3), 14u);
+  EXPECT_EQ(s.core(0).reg(4), 2u);
+  EXPECT_EQ(s.core(0).reg(5), 16u);
+}
+
+TEST(Pipeline, AmoAddFetchesOld) {
+  Assembler a(mem::kFlashBase);
+  a.li(R10, mem::kSramBase + 0x1000);
+  a.addi(R1, R0, 3);
+  a.sw(R1, R10, 0);
+  a.addi(R2, R0, 4);
+  a.amoadd(R5, R10, R2);
+  a.lw(R6, R10, 0);
+  a.halt();
+  auto s = test::run_single_core(a.assemble());
+  EXPECT_EQ(s.core(0).reg(5), 3u);
+  EXPECT_EQ(s.core(0).reg(6), 7u);
+}
+
+TEST(Pipeline, CachedExecutionMatchesUncached) {
+  auto build = [](bool cached) {
+    Assembler a(mem::kFlashBase);
+    if (cached) {
+      a.li(R1, isa::kCacheOpInvI | isa::kCacheOpInvD);
+      a.csrw(Csr::kCacheOp, R1);
+      a.li(R1, isa::kCacheCfgIEn | isa::kCacheCfgDEn | isa::kCacheCfgWriteAllocate);
+      a.csrw(Csr::kCacheCfg, R1);
+    }
+    a.li(R10, mem::kSramBase + 0x2000);
+    a.addi(R2, R0, 0);
+    a.addi(R3, R0, 20);
+    a.label("loop");
+    a.sw(R2, R10, 0);
+    a.lw(R4, R10, 0);
+    a.add(R2, R4, R3);
+    a.addi(R3, R3, -1);
+    a.bne(R3, R0, "loop");
+    a.halt();
+    return a.assemble();
+  };
+  auto s_unc = test::run_single_core(build(false));
+  auto s_cch = test::run_single_core(build(true));
+  EXPECT_EQ(s_unc.core(0).reg(2), s_cch.core(0).reg(2));
+  EXPECT_GT(s_cch.core(0).memsys().dcache().stats().hits, 0u);
+}
+
+TEST(Pipeline, IfStallsCountedOnUncachedFetch) {
+  Assembler a(mem::kFlashBase);
+  for (int i = 0; i < 64; ++i) a.addi(R1, R1, 1);
+  a.halt();
+  auto s = test::run_single_core(a.assemble());
+  EXPECT_GT(s.core(0).perf().if_stalls, 0u);
+}
+
+TEST(Pipeline, R64PairArithmetic) {
+  soc::SocConfig cfg;
+  Assembler a(mem::kFlashBase);
+  a.li(R2, 0xffffffff);  // low
+  a.li(R3, 0x0);         // high -> pair r2 = 0x00000000_ffffffff
+  a.li(R4, 0x1);
+  a.li(R5, 0x0);         // pair r4 = 1
+  a.add64(R6, R2, R4);   // = 0x1_00000000
+  a.halt();
+  soc::Soc s(cfg);
+  auto prog = a.assemble();
+  s.load_program(prog);
+  s.set_boot(2, prog.entry());  // core C has the R64 extension
+  s.reset();
+  s.run(100000);
+  EXPECT_EQ(s.core(2).reg(6), 0u);
+  EXPECT_EQ(s.core(2).reg(7), 1u);
+}
+
+TEST(Pipeline, R64ForwardingThroughPairs) {
+  Assembler a(mem::kFlashBase);
+  a.li(R2, 5);
+  a.li(R3, 0);
+  a.li(R4, 7);
+  a.li(R5, 0);
+  a.add64(R6, R2, R4);
+  a.add64(R8, R6, R2);   // depends on the previous pair result
+  a.add64(R10, R8, R8);
+  a.halt();
+  soc::Soc s;
+  auto prog = a.assemble();
+  s.load_program(prog);
+  s.set_boot(2, prog.entry());
+  s.reset();
+  s.run(100000);
+  EXPECT_EQ(s.core(2).reg(10), 34u);
+  EXPECT_EQ(s.core(2).reg(11), 0u);
+}
+
+TEST(Pipeline, MixedWidthInterlockIsCorrect) {
+  // A 32-bit write into a pair half consumed by a 64-bit op must interlock.
+  Assembler a(mem::kFlashBase);
+  a.li(R4, 1);
+  a.li(R5, 0);
+  a.addi(R3, R0, 9);   // writes the high half of pair r2
+  a.addi(R2, R0, 1);   // low half
+  a.add64(R6, R2, R4); // reads pair r2 right after
+  a.halt();
+  soc::Soc s;
+  auto prog = a.assemble();
+  s.load_program(prog);
+  s.set_boot(2, prog.entry());
+  s.reset();
+  s.run(100000);
+  EXPECT_EQ(s.core(2).reg(6), 2u);
+  EXPECT_EQ(s.core(2).reg(7), 9u);
+}
+
+// ----------------------------------------------------------------------------
+// Randomized differential sweep vs. the functional reference executor
+// ----------------------------------------------------------------------------
+
+struct DiffProgram {
+  isa::Program prog;
+};
+
+DiffProgram random_program(u64 seed, bool r64_ops) {
+  Rng rng(seed);
+  Assembler a(mem::kFlashBase + rng.below(64) * 4096);
+  constexpr unsigned kLen = 120;
+
+  // Pre-plan branch skip distances so labels can be placed while emitting.
+  std::vector<unsigned> kind(kLen);
+  for (auto& k : kind) k = static_cast<unsigned>(rng.below(100));
+
+  auto reg = [&](void) { return static_cast<Reg>(1 + rng.below(15)); };
+  auto even_reg = [&](void) { return static_cast<Reg>(2 + 2 * rng.below(7)); };
+
+  a.li(R20, mem::kDtcmBase + 256);  // scratch base
+  a.li(R21, mem::kSramBase + 0x4000);
+  for (unsigned i = 0; i < kLen; ++i) {
+    a.label("L" + std::to_string(i));
+    const unsigned k = kind[i];
+    if (k < 35) {
+      static constexpr Op kRops[] = {Op::kAdd, Op::kSub, Op::kAnd, Op::kOr,
+                                     Op::kXor, Op::kNor, Op::kSlt, Op::kSltu,
+                                     Op::kSll, Op::kSrl, Op::kSra, Op::kMul,
+                                     Op::kMulh, Op::kAddv, Op::kSubv};
+      const Op op = kRops[rng.below(std::size(kRops))];
+      switch (op) {
+        case Op::kAdd: a.add(reg(), reg(), reg()); break;
+        case Op::kSub: a.sub(reg(), reg(), reg()); break;
+        case Op::kAnd: a.and_(reg(), reg(), reg()); break;
+        case Op::kOr: a.or_(reg(), reg(), reg()); break;
+        case Op::kXor: a.xor_(reg(), reg(), reg()); break;
+        case Op::kNor: a.nor_(reg(), reg(), reg()); break;
+        case Op::kSlt: a.slt(reg(), reg(), reg()); break;
+        case Op::kSltu: a.sltu(reg(), reg(), reg()); break;
+        case Op::kSll: a.sll(reg(), reg(), reg()); break;
+        case Op::kSrl: a.srl(reg(), reg(), reg()); break;
+        case Op::kSra: a.sra(reg(), reg(), reg()); break;
+        case Op::kMul: a.mul(reg(), reg(), reg()); break;
+        case Op::kMulh: a.mulh(reg(), reg(), reg()); break;
+        case Op::kAddv: a.addv(reg(), reg(), reg()); break;
+        default: a.subv(reg(), reg(), reg()); break;
+      }
+    } else if (k < 55) {
+      const i32 imm = static_cast<i32>(rng.range(0, 4000)) - 2000;
+      switch (rng.below(5)) {
+        case 0: a.addi(reg(), reg(), imm); break;
+        case 1: a.andi(reg(), reg(), static_cast<u32>(imm) & 0xffff); break;
+        case 2: a.xori(reg(), reg(), static_cast<u32>(imm) & 0xffff); break;
+        case 3: a.slli(reg(), reg(), static_cast<u32>(rng.below(31))); break;
+        default: a.srai(reg(), reg(), static_cast<u32>(rng.below(31))); break;
+      }
+    } else if (k < 70) {
+      const Reg base = rng.chance(0.5) ? R20 : R21;
+      const i32 off = static_cast<i32>(rng.below(16)) * 4;
+      if (rng.chance(0.5)) {
+        a.sw(reg(), base, off);
+      } else {
+        a.lw(reg(), base, off);
+      }
+    } else if (k < 76) {
+      const Reg base = rng.chance(0.5) ? R20 : R21;
+      const i32 off = static_cast<i32>(rng.below(32));
+      if (rng.chance(0.5)) a.sb(reg(), base, off);
+      else a.lbu(reg(), base, off);
+    } else if (k < 82 && r64_ops) {
+      a.add64(even_reg(), even_reg(), even_reg());
+    } else if (k < 84) {
+      a.div(reg(), reg(), reg());
+    } else if (k < 92 && i + 6 < kLen) {
+      const unsigned target = i + 2 + static_cast<unsigned>(rng.below(4));
+      if (rng.chance(0.5)) a.beq(reg(), reg(), "L" + std::to_string(target));
+      else a.bne(reg(), reg(), "L" + std::to_string(target));
+      // Fill the skipped range requirement: labels are emitted per index, so
+      // nothing else to do.
+    } else {
+      a.addi(reg(), reg(), 1);
+    }
+  }
+  // Terminate, and give skipped branch targets a landing pad.
+  for (unsigned i = kLen; i < kLen + 8; ++i) a.label("L" + std::to_string(i));
+  a.halt();
+  return DiffProgram{a.assemble()};
+}
+
+class Differential : public ::testing::TestWithParam<int> {};
+
+TEST_P(Differential, PipelineMatchesReference) {
+  const u64 seed = static_cast<u64>(GetParam()) * 0x9e3779b9u + 17;
+  const bool use_core_c = GetParam() % 3 == 0;
+  const unsigned core_id = use_core_c ? 2 : 0;
+  const bool cached = GetParam() % 2 == 0;
+  DiffProgram dp = random_program(seed, use_core_c);
+
+  // Reference run.
+  isa::FlatMemory ref_mem;
+  ref_mem.load_program(dp.prog);
+  isa::RefExec ref(use_core_c ? CoreKind::kC : CoreKind::kA, ref_mem);
+  ref.reset(dp.prog.entry());
+
+  // Pipeline run.
+  soc::Soc s;
+  s.load_program(dp.prog);
+  s.set_boot(core_id, dp.prog.entry());
+  s.reset();
+  if (cached) {
+    // Enable caches through the debug path: set config directly.
+    s.core(core_id).memsys().set_cache_cfg(isa::kCacheCfgIEn | isa::kCacheCfgDEn |
+                                           isa::kCacheCfgWriteAllocate);
+  }
+
+  // Identical initial register state.
+  Rng rng(seed ^ 0xabcdef);
+  for (unsigned r = 1; r < 16; ++r) {
+    const u32 v = rng.next_u32();
+    ref.set_reg(r, v);
+    s.core(core_id).set_reg(r, v);
+  }
+
+  ref.run(100000);
+  ASSERT_TRUE(ref.halted()) << "reference did not halt";
+  auto res = s.run(2000000);
+  ASSERT_FALSE(res.timed_out) << "pipeline did not halt";
+
+  for (unsigned r = 1; r < 22; ++r)
+    EXPECT_EQ(s.core(core_id).reg(r), ref.reg(r)) << "r" << r << " seed " << seed;
+  EXPECT_EQ(s.core(core_id).perf().instret, ref.instret()) << "seed " << seed;
+
+  // Compare the DTCM and SRAM scratch regions.
+  for (u32 off = 0; off < 64; off += 4) {
+    EXPECT_EQ(s.debug_read32(core_id, mem::kDtcmBase + 256 + off),
+              ref_mem.load(mem::kDtcmBase + 256 + off, 4))
+        << "dtcm off " << off << " seed " << seed;
+    EXPECT_EQ(s.debug_read32(core_id, mem::kSramBase + 0x4000 + off),
+              ref_mem.load(mem::kSramBase + 0x4000 + off, 4))
+        << "sram off " << off << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Differential, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace detstl

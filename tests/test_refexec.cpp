@@ -1,0 +1,147 @@
+// Reference executor: the untimed architectural oracle. Directed checks for
+// its own semantics (the differential sweep in test_pipeline.cpp covers the
+// pipeline side).
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/refexec.h"
+
+namespace detstl::isa {
+namespace {
+
+RefExec make(FlatMemory& mem, const Program& p, CoreKind kind = CoreKind::kA) {
+  mem.load_program(p);
+  RefExec r(kind, mem);
+  r.reset(p.entry());
+  return r;
+}
+
+TEST(RefExec, BasicArithmeticAndMemory) {
+  Assembler a(0x1000);
+  a.addi(R1, R0, 21);
+  a.add(R2, R1, R1);
+  a.li(R10, 0x8000);
+  a.sw(R2, R10, 4);
+  a.lw(R3, R10, 4);
+  a.halt();
+  FlatMemory mem;
+  auto r = make(mem, a.assemble());
+  r.run(100);
+  EXPECT_TRUE(r.halted());
+  EXPECT_EQ(r.reg(3), 42u);
+  EXPECT_EQ(mem.load(0x8004, 4), 42u);
+}
+
+TEST(RefExec, PreciseTrapOnOverflow) {
+  Assembler a(0x1000);
+  a.la(R1, "isr");
+  a.csrw(Csr::kMtvec, R1);
+  a.li(R1, 0xf);
+  a.csrw(Csr::kMie, R1);
+  a.li(R1, kMstatusIe);
+  a.csrw(Csr::kMstatus, R1);
+  a.li(R2, 0x7fffffff);
+  a.addi(R3, R0, 1);
+  a.addv(R4, R2, R3);
+  a.addi(R5, R0, 7);  // executes after the ISR returns
+  a.halt();
+  a.label("isr");
+  a.addi(R20, R20, 1);
+  a.csrr(R21, Csr::kMcause);
+  a.eret();
+  FlatMemory mem;
+  auto r = make(mem, a.assemble());
+  r.run(100);
+  EXPECT_EQ(r.reg(20), 1u);
+  EXPECT_EQ(r.reg(21), 0x1u);
+  EXPECT_EQ(r.reg(5), 7u);
+  EXPECT_EQ(r.event_count(IcuSource::kOverflow), 1u);
+  // Precise: recognised immediately — MEPC is the instruction right after.
+  EXPECT_EQ(r.csr(Csr::kMepc) - r.csr(Csr::kMfpc), 4u);
+}
+
+TEST(RefExec, MaskedEventOnlySetsPending) {
+  Assembler a(0x1000);
+  a.li(R2, 10);
+  a.div(R3, R2, R0);
+  a.halt();
+  FlatMemory mem;
+  auto r = make(mem, a.assemble());
+  r.run(100);
+  EXPECT_EQ(r.reg(3), 0xffffffffu);
+  EXPECT_EQ(r.csr(Csr::kMip), 0x2u);  // div-by-zero pending, no trap (mie=0)
+  EXPECT_EQ(r.event_count(IcuSource::kDivZero), 1u);
+}
+
+TEST(RefExec, CoreCCauseMapping) {
+  Assembler a(0x1000);
+  a.la(R1, "isr");
+  a.csrw(Csr::kMtvec, R1);
+  a.li(R1, 0xf);
+  a.csrw(Csr::kMie, R1);
+  a.li(R1, kMstatusIe);
+  a.csrw(Csr::kMstatus, R1);
+  a.csrw(Csr::kMswi, R1);
+  a.halt();
+  a.label("isr");
+  a.csrr(R21, Csr::kMcause);
+  a.eret();
+  FlatMemory mem;
+  auto r = make(mem, a.assemble(), CoreKind::kC);
+  r.run(100);
+  EXPECT_EQ(r.reg(21), 0x8u);  // distinct bit on core C
+}
+
+TEST(RefExec, PairArithmeticOnCoreC) {
+  Assembler a(0x1000);
+  a.li(R2, 0xffffffff);
+  a.li(R3, 0);
+  a.li(R4, 2);
+  a.li(R5, 0);
+  a.add64(R6, R2, R4);
+  a.halt();
+  FlatMemory mem;
+  auto r = make(mem, a.assemble(), CoreKind::kC);
+  r.run(100);
+  EXPECT_EQ(r.reg_pair(6), 0x1'0000'0001ull);
+}
+
+TEST(RefExec, AmoAdd) {
+  Assembler a(0x1000);
+  a.li(R10, 0x9000);
+  a.addi(R1, R0, 5);
+  a.sw(R1, R10, 0);
+  a.addi(R2, R0, 3);
+  a.amoadd(R3, R10, R2);
+  a.halt();
+  FlatMemory mem;
+  auto r = make(mem, a.assemble());
+  r.run(100);
+  EXPECT_EQ(r.reg(3), 5u);
+  EXPECT_EQ(mem.load(0x9000, 4), 8u);
+}
+
+TEST(RefExec, RunBoundsSteps) {
+  Assembler a(0x1000);
+  a.label("spin");
+  a.beq(R0, R0, "spin");
+  FlatMemory mem;
+  auto r = make(mem, a.assemble());
+  EXPECT_EQ(r.run(500), 500u);
+  EXPECT_FALSE(r.halted());
+}
+
+TEST(RefExec, InstretCountsRetired) {
+  Assembler a(0x1000);
+  for (int i = 0; i < 10; ++i) a.addi(R1, R1, 1);
+  a.halt();
+  FlatMemory mem;
+  auto r = make(mem, a.assemble());
+  r.run(100);
+  EXPECT_EQ(r.instret(), 11u);
+  EXPECT_EQ(r.csr(Csr::kInstret), 11u);
+}
+
+}  // namespace
+}  // namespace detstl::isa

@@ -1,0 +1,231 @@
+// STL routine properties: every routine builds under every wrapper on every
+// core kind, emission is deterministic, programs fit their caches, signatures
+// are non-trivial, and suites compose without label collisions.
+
+#include <gtest/gtest.h>
+
+#include "core/routines.h"
+#include "core/signature.h"
+#include "core/stl.h"
+#include "testutil.h"
+
+namespace detstl::core {
+namespace {
+
+using isa::CoreKind;
+
+BuildEnv env_for(unsigned core_id) {
+  BuildEnv env;
+  env.core_id = core_id;
+  env.kind = static_cast<CoreKind>(core_id);
+  env.code_base = mem::kFlashBase + 0x2000 + core_id * 0x40000;
+  env.data_base = default_data_base(core_id);
+  return env;
+}
+
+std::vector<std::unique_ptr<SelfTestRoutine>> all_routines() {
+  std::vector<std::unique_ptr<SelfTestRoutine>> v;
+  v.push_back(make_fwd_test(false));
+  v.push_back(make_fwd_test(true));
+  v.push_back(make_icu_test());
+  v.push_back(make_alu_test());
+  v.push_back(make_rf_march_test());
+  v.push_back(make_shifter_test());
+  v.push_back(make_branch_test());
+  v.push_back(make_muldiv_test());
+  return v;
+}
+
+// Every routine x every wrapper x every core kind: builds, calibrates, and
+// passes fault-free.
+class RoutineMatrix : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RoutineMatrix, BuildsCalibratesAndPasses) {
+  const auto [routine_idx, wrapper_idx] = GetParam();
+  const auto routines = all_routines();
+  const auto& r = *routines[routine_idx];
+  const auto w = static_cast<WrapperKind>(wrapper_idx);
+  for (unsigned core = 0; core < 3; ++core) {
+    const BuiltTest bt = build_wrapped(r, w, env_for(core));
+    EXPECT_GT(bt.code_bytes, 0u);
+    EXPECT_NE(bt.golden, kSignatureSeed) << "signature never accumulated";
+    soc::Soc s;
+    s.load_program(bt.prog);
+    s.set_boot(core, bt.prog.entry());
+    s.reset();
+    ASSERT_FALSE(s.run(10'000'000).timed_out) << r.name();
+    const auto v = read_verdict(s, soc::mailbox_addr(core));
+    EXPECT_EQ(v.status, soc::kStatusPass)
+        << r.name() << " / " << wrapper_name(w) << " / core " << core;
+    EXPECT_EQ(v.signature, bt.golden);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, RoutineMatrix,
+                         ::testing::Combine(::testing::Range(0, 8),
+                                            ::testing::Range(0, 3)));
+
+TEST(Routines, EmissionIsDeterministic) {
+  for (const auto& r : all_routines()) {
+    const BuiltTest a = build_wrapped(*r, WrapperKind::kCacheBased, env_for(0));
+    const BuiltTest b = build_wrapped(*r, WrapperKind::kCacheBased, env_for(0));
+    EXPECT_EQ(a.golden, b.golden) << r->name();
+    EXPECT_EQ(a.code_bytes, b.code_bytes);
+    ASSERT_EQ(a.prog.segments().size(), b.prog.segments().size());
+    for (std::size_t i = 0; i < a.prog.segments().size(); ++i)
+      EXPECT_EQ(a.prog.segments()[i].bytes, b.prog.segments()[i].bytes) << r->name();
+  }
+}
+
+TEST(Routines, CacheWrappedProgramsFitTheICache) {
+  const u32 icache = mem::MemSystemConfig{}.icache.size_bytes;
+  for (const auto& r : all_routines()) {
+    for (unsigned core = 0; core < 3; ++core) {
+      const BuiltTest bt = build_wrapped(*r, WrapperKind::kCacheBased, env_for(core));
+      EXPECT_LE(bt.code_bytes, icache) << r->name() << " core " << core;
+    }
+  }
+}
+
+TEST(Routines, TcmWrappedBlocksFitTheTcm) {
+  for (const auto& r : all_routines()) {
+    const BuiltTest bt = build_wrapped(*r, WrapperKind::kTcmBased, env_for(0));
+    EXPECT_GT(bt.tcm_bytes, 0u) << r->name();
+    EXPECT_LE(bt.tcm_bytes, mem::kItcmSize) << r->name();
+    EXPECT_EQ(bt.tcm_bytes % 16, 0u) << "copy-granule padding";
+  }
+}
+
+TEST(Routines, DistinctRoutinesProduceDistinctSignatures) {
+  std::set<u32> goldens;
+  for (const auto& r : all_routines())
+    goldens.insert(build_wrapped(*r, WrapperKind::kCacheBased, env_for(0)).golden);
+  EXPECT_EQ(goldens.size(), all_routines().size());
+}
+
+TEST(Routines, MisrStepMatchesAssemblyConvention) {
+  // The C++ mirror: rotl1 ^ value. Spot-check the identity used everywhere.
+  EXPECT_EQ(misr_step(0x80000000u, 0), 0x1u);
+  EXPECT_EQ(misr_step(0x00000001u, 0xff), 0x2u ^ 0xffu);
+  u32 sig = kSignatureSeed;
+  sig = misr_step(sig, 0xdead);
+  sig = misr_step(sig, 0xbeef);
+  EXPECT_NE(sig, kSignatureSeed);
+}
+
+TEST(Routines, TextRoutinePlugsIntoEveryWrapper) {
+  const auto routine = make_text_routine("xor-chain.s", R"(
+      li   r1, 0x13579bdf
+      li   r2, 0x2468ace0
+      xor  r3, r1, r2
+      slli r26, r29, 1
+      srli r29, r29, 31
+      or   r29, r26, r29
+      xor  r29, r29, r3
+      addi r4, r0, 4
+    loop:
+      add  r3, r3, r1
+      addi r4, r4, -1
+      bne  r4, r0, loop
+      slli r26, r29, 1
+      srli r29, r29, 31
+      or   r29, r26, r29
+      xor  r29, r29, r3
+  )");
+  for (int w = 0; w < 3; ++w) {
+    const BuiltTest bt =
+        build_wrapped(*routine, static_cast<WrapperKind>(w), env_for(0));
+    soc::Soc s;
+    s.load_program(bt.prog);
+    s.set_boot(0, bt.prog.entry());
+    s.reset();
+    ASSERT_FALSE(s.run(5'000'000).timed_out);
+    EXPECT_EQ(read_verdict(s, soc::mailbox_addr(0)).status, soc::kStatusPass)
+        << wrapper_name(static_cast<WrapperKind>(w));
+  }
+}
+
+TEST(Routines, TwoTextRoutinesComposeInASuite) {
+  const char* body = R"(
+    top:
+      li   r1, 0x55
+      slli r26, r29, 1
+      srli r29, r29, 31
+      or   r29, r26, r29
+      xor  r29, r29, r1
+  )";
+  auto r1 = make_text_routine("a.s", body);
+  auto r2 = make_text_routine("b.s", body);
+  SuiteSpec spec;
+  spec.routines = {r1.get(), r2.get()};
+  spec.wrapper = WrapperKind::kCacheBased;
+  spec.env = env_for(0);
+  const BuiltSuite suite = build_suite(spec);  // label prefixing: no collision
+  soc::Soc s;
+  s.load_program(suite.prog);
+  s.set_boot(0, suite.prog.entry());
+  s.reset();
+  ASSERT_FALSE(s.run(5'000'000).timed_out);
+  for (const auto& v : read_suite_verdicts(s, suite))
+    EXPECT_EQ(v.status, soc::kStatusPass);
+}
+
+TEST(Suites, TwoRoutinesComposeWithoutLabelCollisions) {
+  auto alu = make_alu_test();
+  auto sh = make_shifter_test();
+  SuiteSpec spec;
+  spec.routines = {alu.get(), sh.get()};
+  spec.wrapper = WrapperKind::kCacheBased;
+  spec.env = env_for(0);
+  const BuiltSuite suite = build_suite(spec);
+  EXPECT_EQ(suite.goldens.size(), 2u);
+  EXPECT_NE(suite.goldens[0], suite.goldens[1]);
+
+  soc::Soc s;
+  s.load_program(suite.prog);
+  s.set_boot(0, suite.prog.entry());
+  s.reset();
+  ASSERT_FALSE(s.run(20'000'000).timed_out);
+  const auto verdicts = read_suite_verdicts(s, suite);
+  for (const auto& v : verdicts) EXPECT_EQ(v.status, soc::kStatusPass);
+}
+
+TEST(Suites, SuiteGoldensMatchStandaloneForValueOnlyRoutines) {
+  // Value-only signatures are position-independent: the standalone build and
+  // the suite build of the same routine agree.
+  auto alu = make_alu_test();
+  const BuiltTest alone = build_wrapped(*alu, WrapperKind::kCacheBased, env_for(0));
+  SuiteSpec spec;
+  spec.routines = {alu.get()};
+  spec.wrapper = WrapperKind::kCacheBased;
+  spec.env = env_for(0);
+  const BuiltSuite suite = build_suite(spec);
+  EXPECT_EQ(suite.goldens[0], alone.golden);
+}
+
+TEST(Suites, BarrierCountersMonotoneAcrossPhases) {
+  auto stl = make_boot_stl();
+  soc::Soc s;
+  std::vector<BuiltSuite> suites;
+  std::array<std::vector<std::unique_ptr<SelfTestRoutine>>, 3> stls = {
+      make_boot_stl(), make_boot_stl(), make_boot_stl()};
+  for (unsigned c = 0; c < 3; ++c) {
+    SuiteSpec spec;
+    for (const auto& r : stls[c]) spec.routines.push_back(r.get());
+    spec.wrapper = WrapperKind::kPlain;
+    spec.env = env_for(c);
+    spec.barriers = true;
+    spec.barrier_cores = 3;
+    suites.push_back(build_suite(spec));
+    s.load_program(suites.back().prog);
+    s.set_boot(c, suites.back().prog.entry());
+  }
+  s.reset();
+  ASSERT_FALSE(s.run(50'000'000).timed_out);
+  // Every phase barrier saw exactly three arrivals.
+  for (unsigned phase = 0; phase < stls[0].size(); ++phase)
+    EXPECT_EQ(s.debug_read32(kDefaultBarrierBase + 4 * phase), 3u) << "phase " << phase;
+}
+
+}  // namespace
+}  // namespace detstl::core

@@ -1,0 +1,263 @@
+// The paper's core claims as executable invariants:
+//  * every wrapper kind runs fault-free to PASS;
+//  * cache-based execution yields a bit-identical signature across active-core
+//    counts, start staggers, code positions and alignments (determinism);
+//  * plain (no-cache) execution of the PC-based routine in a multi-core
+//    scenario fails against its single-core golden (instability);
+//  * the no-write-allocate dummy-load rule restores determinism;
+//  * the TCM wrapper reserves TCM bytes, the cache wrapper reserves none;
+//  * a multi-core STL suite with barriers completes with all-pass verdicts.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/routines.h"
+#include "core/stl.h"
+#include "testutil.h"
+
+namespace detstl::core {
+namespace {
+
+using isa::CoreKind;
+
+BuildEnv env_for(unsigned core_id, CoreKind kind) {
+  BuildEnv env;
+  env.core_id = core_id;
+  env.kind = kind;
+  env.code_base = mem::kFlashBase + 0x2000 + core_id * 0x10000;
+  env.data_base = default_data_base(core_id);
+  return env;
+}
+
+/// Run `built` on its core with `active` other cores executing `noise`
+/// programs (their own copies of the same routine), returning the verdict.
+TestVerdict run_multicore(const BuiltTest& built,
+                          const std::vector<BuiltTest>& noise,
+                          const std::array<u32, 3>& stagger) {
+  soc::SocConfig cfg;
+  cfg.start_delay = stagger;
+  soc::Soc soc(cfg);
+  soc.load_program(built.prog);
+  soc.set_boot(built.env.core_id, built.prog.entry());
+  for (const auto& n : noise) {
+    soc.load_program(n.prog);
+    soc.set_boot(n.env.core_id, n.prog.entry());
+  }
+  soc.reset();
+  const auto res = soc.run(10'000'000);
+  EXPECT_FALSE(res.timed_out);
+  return read_verdict(soc, built.env.mailbox != 0
+                                ? built.env.mailbox
+                                : soc::mailbox_addr(built.env.core_id));
+}
+
+// ----------------------------------------------------------------------------
+// Fault-free pass, all wrappers x a representative routine set
+// ----------------------------------------------------------------------------
+
+class WrapperKindTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WrapperKindTest, FaultFreeSelfTestPasses) {
+  const auto w = static_cast<WrapperKind>(GetParam());
+  for (auto make : {make_alu_test, make_shifter_test, make_branch_test}) {
+    const auto routine = make();
+    const BuiltTest bt = build_wrapped(*routine, w, env_for(0, CoreKind::kA));
+    const TestVerdict v = run_multicore(bt, {}, {0, 0, 0});
+    EXPECT_EQ(v.status, soc::kStatusPass) << routine->name() << " / " << wrapper_name(w);
+    EXPECT_EQ(v.signature, bt.golden);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWrappers, WrapperKindTest, ::testing::Values(0, 1, 2));
+
+TEST(Wrapper, FwdTestPassesOnEveryCore) {
+  for (unsigned core = 0; core < 3; ++core) {
+    const auto kind = static_cast<CoreKind>(core);
+    const auto routine = make_fwd_test(true);
+    const BuiltTest bt =
+        build_wrapped(*routine, WrapperKind::kCacheBased, env_for(core, kind));
+    const TestVerdict v = run_multicore(bt, {}, {0, 0, 0});
+    EXPECT_EQ(v.status, soc::kStatusPass) << "core " << core;
+  }
+}
+
+TEST(Wrapper, IcuTestPassesOnEveryCore) {
+  for (unsigned core = 0; core < 3; ++core) {
+    const auto kind = static_cast<CoreKind>(core);
+    const auto routine = make_icu_test();
+    const BuiltTest bt =
+        build_wrapped(*routine, WrapperKind::kCacheBased, env_for(core, kind));
+    const TestVerdict v = run_multicore(bt, {}, {0, 0, 0});
+    EXPECT_EQ(v.status, soc::kStatusPass) << "core " << core;
+    EXPECT_EQ(v.signature, bt.golden);
+  }
+}
+
+// ----------------------------------------------------------------------------
+// THE determinism invariant (paper Sec. III)
+// ----------------------------------------------------------------------------
+
+struct Scenario {
+  unsigned active_cores;
+  std::array<u32, 3> stagger;
+  u32 position_offset;
+};
+
+// Position offsets are issue-packet (8-byte) aligned: the STL binary ships
+// packet-aligned (sub-packet placement would change the dual-issue pairing
+// itself, i.e. a different instruction stream, not a contention effect).
+// Offsets still sweep the flash-line phase (mod 32), the knob that makes the
+// *uncached* runs oscillate.
+const Scenario kScenarios[] = {
+    {1, {0, 0, 0}, 0},          {2, {0, 3, 0}, 0},
+    {3, {0, 5, 11}, 0},         {3, {7, 0, 2}, 0},
+    {3, {0, 1, 2}, 0x20000},    {3, {4, 9, 1}, 0x20008},
+    {2, {13, 2, 0}, 0x40010},   {3, {1, 1, 1}, 0x40018},
+};
+
+TEST(Determinism, CacheWrappedSignatureIsScenarioInvariant) {
+  for (auto make : {+[] { return make_fwd_test(true); }, +[] { return make_icu_test(); }}) {
+    const auto routine = make();
+    std::set<u32> signatures;
+    for (const Scenario& sc : kScenarios) {
+      // Rebuild at the scenario's flash position (golden must not move).
+      BuildEnv env = env_for(0, CoreKind::kA);
+      env.code_base += sc.position_offset;
+      const BuiltTest bt = build_wrapped(*routine, WrapperKind::kCacheBased, env);
+
+      std::vector<BuiltTest> noise;
+      for (unsigned c = 1; c < sc.active_cores; ++c) {
+        BuildEnv ne = env_for(c, static_cast<CoreKind>(c));
+        ne.code_base += sc.position_offset;
+        noise.push_back(build_wrapped(*routine, WrapperKind::kCacheBased, ne));
+      }
+      const TestVerdict v = run_multicore(bt, noise, sc.stagger);
+      EXPECT_EQ(v.status, soc::kStatusPass)
+          << routine->name() << " cores=" << sc.active_cores;
+      signatures.insert(v.signature);
+    }
+    EXPECT_EQ(signatures.size(), 1u)
+        << routine->name() << ": signature varied across scenarios";
+  }
+}
+
+TEST(Determinism, PlainPcRoutineFailsUnderContention) {
+  // The PC-based HDCU routine without the cache strategy: calibrated
+  // single-core, then executed with all three cores active. Table III:
+  // "the test procedures inevitably failed in any configuration".
+  const auto routine = make_fwd_test(true);
+  BuildEnv env = env_for(0, CoreKind::kA);
+  env.use_perf_counters = true;
+  const BuiltTest bt = build_wrapped(*routine, WrapperKind::kPlain, env);
+
+  // Sanity: single-core it passes.
+  EXPECT_EQ(run_multicore(bt, {}, {0, 0, 0}).status, soc::kStatusPass);
+
+  std::vector<BuiltTest> noise;
+  for (unsigned c = 1; c < 3; ++c) {
+    BuildEnv ne = env_for(c, static_cast<CoreKind>(c));
+    ne.use_perf_counters = true;
+    noise.push_back(build_wrapped(*routine, WrapperKind::kPlain, ne));
+  }
+  unsigned failures = 0;
+  for (const auto& stagger : {std::array<u32, 3>{0, 3, 7}, {5, 0, 2}, {1, 9, 4}}) {
+    if (run_multicore(bt, noise, stagger).status == soc::kStatusFail) ++failures;
+  }
+  EXPECT_GT(failures, 0u) << "contention never destabilised the PC signature";
+}
+
+TEST(Determinism, IcuPlainFailsUnderContention) {
+  const auto routine = make_icu_test();
+  const BuiltTest bt = build_wrapped(*routine, WrapperKind::kPlain, env_for(0, CoreKind::kA));
+  EXPECT_EQ(run_multicore(bt, {}, {0, 0, 0}).status, soc::kStatusPass);
+
+  std::vector<BuiltTest> noise;
+  for (unsigned c = 1; c < 3; ++c)
+    noise.push_back(build_wrapped(*routine, WrapperKind::kPlain,
+                                  env_for(c, static_cast<CoreKind>(c))));
+  unsigned failures = 0;
+  for (const auto& stagger : {std::array<u32, 3>{0, 3, 7}, {5, 0, 2}, {1, 9, 4}}) {
+    if (run_multicore(bt, noise, stagger).status == soc::kStatusFail) ++failures;
+  }
+  EXPECT_GT(failures, 0u);
+}
+
+// ----------------------------------------------------------------------------
+// No-write-allocate policy and the dummy-load rule (paper Sec. III step 1)
+// ----------------------------------------------------------------------------
+
+TEST(Determinism, NoWriteAllocateWithDummyLoadsIsStable) {
+  const auto routine = make_fwd_test(true);
+  BuildEnv env = env_for(0, CoreKind::kA);
+  env.write_allocate = false;  // wrapper auto-enables the dummy-load fix-up
+  env.use_perf_counters = true;
+  const BuiltTest bt = build_wrapped(*routine, WrapperKind::kCacheBased, env);
+
+  std::vector<BuiltTest> noise;
+  for (unsigned c = 1; c < 3; ++c) {
+    BuildEnv ne = env_for(c, static_cast<CoreKind>(c));
+    ne.write_allocate = false;
+    noise.push_back(build_wrapped(*routine, WrapperKind::kCacheBased, ne));
+  }
+  for (const auto& stagger : {std::array<u32, 3>{0, 3, 7}, {5, 0, 2}}) {
+    const TestVerdict v = run_multicore(bt, noise, stagger);
+    EXPECT_EQ(v.status, soc::kStatusPass);
+    EXPECT_EQ(v.signature, bt.golden);
+  }
+}
+
+// ----------------------------------------------------------------------------
+// TCM wrapper bookkeeping (Table IV inputs)
+// ----------------------------------------------------------------------------
+
+TEST(TcmWrapper, ReservesTcmBytesAndPasses) {
+  const auto routine = make_icu_test();
+  const BuiltTest tcm =
+      build_wrapped(*routine, WrapperKind::kTcmBased, env_for(0, CoreKind::kA));
+  const BuiltTest cache =
+      build_wrapped(*routine, WrapperKind::kCacheBased, env_for(0, CoreKind::kA));
+  EXPECT_GT(tcm.tcm_bytes, 0u);
+  EXPECT_EQ(cache.tcm_bytes, 0u);
+  EXPECT_EQ(run_multicore(tcm, {}, {0, 0, 0}).status, soc::kStatusPass);
+}
+
+// ----------------------------------------------------------------------------
+// Suite + decentralised barriers across three cores
+// ----------------------------------------------------------------------------
+
+TEST(Suite, TripleCoreBarrieredStlAllPass) {
+  auto stl0 = make_boot_stl();
+  auto stl1 = make_boot_stl();
+  auto stl2 = make_boot_stl();
+  std::array<std::vector<std::unique_ptr<SelfTestRoutine>>*, 3> stls = {&stl0, &stl1,
+                                                                        &stl2};
+  soc::Soc soc;
+  std::vector<BuiltSuite> suites;
+  for (unsigned c = 0; c < 3; ++c) {
+    SuiteSpec spec;
+    for (const auto& r : *stls[c]) spec.routines.push_back(r.get());
+    spec.wrapper = WrapperKind::kCacheBased;
+    spec.env = env_for(c, static_cast<CoreKind>(c));
+    spec.barriers = true;
+    spec.barrier_cores = 3;
+    suites.push_back(build_suite(spec));
+    soc.load_program(suites.back().prog);
+    soc.set_boot(c, suites.back().prog.entry());
+  }
+  soc.reset();
+  const auto res = soc.run(30'000'000);
+  ASSERT_FALSE(res.timed_out);
+  for (unsigned c = 0; c < 3; ++c) {
+    const auto verdicts = read_suite_verdicts(soc, suites[c]);
+    ASSERT_EQ(verdicts.size(), 5u);
+    for (unsigned i = 0; i < verdicts.size(); ++i) {
+      EXPECT_EQ(verdicts[i].status, soc::kStatusPass)
+          << "core " << c << " test " << suites[c].names[i];
+      EXPECT_EQ(verdicts[i].signature, suites[c].goldens[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace detstl::core

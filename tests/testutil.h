@@ -1,0 +1,31 @@
+#pragma once
+// Shared helpers for the test suite.
+
+#include <optional>
+
+#include "isa/assembler.h"
+#include "isa/refexec.h"
+#include "soc/soc.h"
+
+namespace detstl::test {
+
+/// Build a single-active-core SoC, load `prog`, boot `core_id` at the entry
+/// point and run to halt (or `max_cycles`).
+inline soc::Soc run_single_core(const isa::Program& prog, unsigned core_id = 0,
+                                u64 max_cycles = 200000,
+                                const soc::SocConfig& cfg = {}) {
+  soc::Soc s(cfg);
+  s.load_program(prog);
+  s.set_boot(core_id, prog.entry());
+  s.reset();
+  s.run(max_cycles);
+  return s;
+}
+
+/// Convenience: assemble a program placed at the default flash base.
+inline isa::Assembler make_asm(u32 org = mem::kFlashBase) {
+  isa::Assembler a(org);
+  return a;
+}
+
+}  // namespace detstl::test
