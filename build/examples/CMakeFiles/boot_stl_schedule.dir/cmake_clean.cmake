@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/boot_stl_schedule.dir/boot_stl_schedule.cpp.o"
+  "CMakeFiles/boot_stl_schedule.dir/boot_stl_schedule.cpp.o.d"
+  "boot_stl_schedule"
+  "boot_stl_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/boot_stl_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_text_routine.dir/custom_text_routine.cpp.o"
+  "CMakeFiles/custom_text_routine.dir/custom_text_routine.cpp.o.d"
+  "custom_text_routine"
+  "custom_text_routine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_text_routine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_grading.dir/fault_grading.cpp.o"
+  "CMakeFiles/fault_grading.dir/fault_grading.cpp.o.d"
+  "fault_grading"
+  "fault_grading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_grading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

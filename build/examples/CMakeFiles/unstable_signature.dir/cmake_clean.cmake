@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unstable_signature.dir/unstable_signature.cpp.o"
+  "CMakeFiles/unstable_signature.dir/unstable_signature.cpp.o.d"
+  "unstable_signature"
+  "unstable_signature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unstable_signature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detstl_common.dir/log.cpp.o"
+  "CMakeFiles/detstl_common.dir/log.cpp.o.d"
+  "CMakeFiles/detstl_common.dir/table.cpp.o"
+  "CMakeFiles/detstl_common.dir/table.cpp.o.d"
+  "libdetstl_common.a"
+  "libdetstl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detstl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

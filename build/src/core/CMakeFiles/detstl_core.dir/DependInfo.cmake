@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/routine.cpp" "src/core/CMakeFiles/detstl_core.dir/routine.cpp.o" "gcc" "src/core/CMakeFiles/detstl_core.dir/routine.cpp.o.d"
+  "/root/repo/src/core/routines/basic_tests.cpp" "src/core/CMakeFiles/detstl_core.dir/routines/basic_tests.cpp.o" "gcc" "src/core/CMakeFiles/detstl_core.dir/routines/basic_tests.cpp.o.d"
+  "/root/repo/src/core/routines/fwd_test.cpp" "src/core/CMakeFiles/detstl_core.dir/routines/fwd_test.cpp.o" "gcc" "src/core/CMakeFiles/detstl_core.dir/routines/fwd_test.cpp.o.d"
+  "/root/repo/src/core/routines/icu_test.cpp" "src/core/CMakeFiles/detstl_core.dir/routines/icu_test.cpp.o" "gcc" "src/core/CMakeFiles/detstl_core.dir/routines/icu_test.cpp.o.d"
+  "/root/repo/src/core/routines/text_routine.cpp" "src/core/CMakeFiles/detstl_core.dir/routines/text_routine.cpp.o" "gcc" "src/core/CMakeFiles/detstl_core.dir/routines/text_routine.cpp.o.d"
+  "/root/repo/src/core/stl.cpp" "src/core/CMakeFiles/detstl_core.dir/stl.cpp.o" "gcc" "src/core/CMakeFiles/detstl_core.dir/stl.cpp.o.d"
+  "/root/repo/src/core/wrapper.cpp" "src/core/CMakeFiles/detstl_core.dir/wrapper.cpp.o" "gcc" "src/core/CMakeFiles/detstl_core.dir/wrapper.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/soc/CMakeFiles/detstl_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/detstl_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/detstl_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/detstl_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/detstl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detstl_core.dir/routine.cpp.o"
+  "CMakeFiles/detstl_core.dir/routine.cpp.o.d"
+  "CMakeFiles/detstl_core.dir/routines/basic_tests.cpp.o"
+  "CMakeFiles/detstl_core.dir/routines/basic_tests.cpp.o.d"
+  "CMakeFiles/detstl_core.dir/routines/fwd_test.cpp.o"
+  "CMakeFiles/detstl_core.dir/routines/fwd_test.cpp.o.d"
+  "CMakeFiles/detstl_core.dir/routines/icu_test.cpp.o"
+  "CMakeFiles/detstl_core.dir/routines/icu_test.cpp.o.d"
+  "CMakeFiles/detstl_core.dir/routines/text_routine.cpp.o"
+  "CMakeFiles/detstl_core.dir/routines/text_routine.cpp.o.d"
+  "CMakeFiles/detstl_core.dir/stl.cpp.o"
+  "CMakeFiles/detstl_core.dir/stl.cpp.o.d"
+  "CMakeFiles/detstl_core.dir/wrapper.cpp.o"
+  "CMakeFiles/detstl_core.dir/wrapper.cpp.o.d"
+  "libdetstl_core.a"
+  "libdetstl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detstl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

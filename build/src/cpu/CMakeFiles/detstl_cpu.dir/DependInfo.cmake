@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cpu.cpp" "src/cpu/CMakeFiles/detstl_cpu.dir/cpu.cpp.o" "gcc" "src/cpu/CMakeFiles/detstl_cpu.dir/cpu.cpp.o.d"
+  "/root/repo/src/cpu/forward.cpp" "src/cpu/CMakeFiles/detstl_cpu.dir/forward.cpp.o" "gcc" "src/cpu/CMakeFiles/detstl_cpu.dir/forward.cpp.o.d"
+  "/root/repo/src/cpu/hazard.cpp" "src/cpu/CMakeFiles/detstl_cpu.dir/hazard.cpp.o" "gcc" "src/cpu/CMakeFiles/detstl_cpu.dir/hazard.cpp.o.d"
+  "/root/repo/src/cpu/icu.cpp" "src/cpu/CMakeFiles/detstl_cpu.dir/icu.cpp.o" "gcc" "src/cpu/CMakeFiles/detstl_cpu.dir/icu.cpp.o.d"
+  "/root/repo/src/cpu/trace.cpp" "src/cpu/CMakeFiles/detstl_cpu.dir/trace.cpp.o" "gcc" "src/cpu/CMakeFiles/detstl_cpu.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/detstl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/detstl_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/detstl_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

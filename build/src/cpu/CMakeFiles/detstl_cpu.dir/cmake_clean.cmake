@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detstl_cpu.dir/cpu.cpp.o"
+  "CMakeFiles/detstl_cpu.dir/cpu.cpp.o.d"
+  "CMakeFiles/detstl_cpu.dir/forward.cpp.o"
+  "CMakeFiles/detstl_cpu.dir/forward.cpp.o.d"
+  "CMakeFiles/detstl_cpu.dir/hazard.cpp.o"
+  "CMakeFiles/detstl_cpu.dir/hazard.cpp.o.d"
+  "CMakeFiles/detstl_cpu.dir/icu.cpp.o"
+  "CMakeFiles/detstl_cpu.dir/icu.cpp.o.d"
+  "CMakeFiles/detstl_cpu.dir/trace.cpp.o"
+  "CMakeFiles/detstl_cpu.dir/trace.cpp.o.d"
+  "libdetstl_cpu.a"
+  "libdetstl_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detstl_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detstl_exp.dir/experiments.cpp.o"
+  "CMakeFiles/detstl_exp.dir/experiments.cpp.o.d"
+  "libdetstl_exp.a"
+  "libdetstl_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detstl_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detstl_fault.dir/campaign.cpp.o"
+  "CMakeFiles/detstl_fault.dir/campaign.cpp.o.d"
+  "CMakeFiles/detstl_fault.dir/report.cpp.o"
+  "CMakeFiles/detstl_fault.dir/report.cpp.o.d"
+  "libdetstl_fault.a"
+  "libdetstl_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detstl_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

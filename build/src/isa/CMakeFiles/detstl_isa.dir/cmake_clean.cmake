@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detstl_isa.dir/alu.cpp.o"
+  "CMakeFiles/detstl_isa.dir/alu.cpp.o.d"
+  "CMakeFiles/detstl_isa.dir/asmparser.cpp.o"
+  "CMakeFiles/detstl_isa.dir/asmparser.cpp.o.d"
+  "CMakeFiles/detstl_isa.dir/assembler.cpp.o"
+  "CMakeFiles/detstl_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/detstl_isa.dir/disasm.cpp.o"
+  "CMakeFiles/detstl_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/detstl_isa.dir/encoding.cpp.o"
+  "CMakeFiles/detstl_isa.dir/encoding.cpp.o.d"
+  "CMakeFiles/detstl_isa.dir/isa.cpp.o"
+  "CMakeFiles/detstl_isa.dir/isa.cpp.o.d"
+  "CMakeFiles/detstl_isa.dir/refexec.cpp.o"
+  "CMakeFiles/detstl_isa.dir/refexec.cpp.o.d"
+  "libdetstl_isa.a"
+  "libdetstl_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detstl_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

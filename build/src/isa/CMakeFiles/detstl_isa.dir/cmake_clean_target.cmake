@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdetstl_isa.a"
+)

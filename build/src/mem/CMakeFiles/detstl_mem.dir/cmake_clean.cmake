@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detstl_mem.dir/bus.cpp.o"
+  "CMakeFiles/detstl_mem.dir/bus.cpp.o.d"
+  "CMakeFiles/detstl_mem.dir/cache.cpp.o"
+  "CMakeFiles/detstl_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/detstl_mem.dir/memsys.cpp.o"
+  "CMakeFiles/detstl_mem.dir/memsys.cpp.o.d"
+  "libdetstl_mem.a"
+  "libdetstl_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detstl_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/fwd_netlist.cpp" "src/netlist/CMakeFiles/detstl_netlist.dir/fwd_netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/detstl_netlist.dir/fwd_netlist.cpp.o.d"
+  "/root/repo/src/netlist/hdcu_netlist.cpp" "src/netlist/CMakeFiles/detstl_netlist.dir/hdcu_netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/detstl_netlist.dir/hdcu_netlist.cpp.o.d"
+  "/root/repo/src/netlist/icu_netlist.cpp" "src/netlist/CMakeFiles/detstl_netlist.dir/icu_netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/detstl_netlist.dir/icu_netlist.cpp.o.d"
+  "/root/repo/src/netlist/netlist.cpp" "src/netlist/CMakeFiles/detstl_netlist.dir/netlist.cpp.o" "gcc" "src/netlist/CMakeFiles/detstl_netlist.dir/netlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/detstl_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/detstl_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/detstl_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/detstl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

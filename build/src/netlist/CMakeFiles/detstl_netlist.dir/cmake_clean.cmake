@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detstl_netlist.dir/fwd_netlist.cpp.o"
+  "CMakeFiles/detstl_netlist.dir/fwd_netlist.cpp.o.d"
+  "CMakeFiles/detstl_netlist.dir/hdcu_netlist.cpp.o"
+  "CMakeFiles/detstl_netlist.dir/hdcu_netlist.cpp.o.d"
+  "CMakeFiles/detstl_netlist.dir/icu_netlist.cpp.o"
+  "CMakeFiles/detstl_netlist.dir/icu_netlist.cpp.o.d"
+  "CMakeFiles/detstl_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/detstl_netlist.dir/netlist.cpp.o.d"
+  "libdetstl_netlist.a"
+  "libdetstl_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detstl_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detstl_soc.dir/soc.cpp.o"
+  "CMakeFiles/detstl_soc.dir/soc.cpp.o.d"
+  "libdetstl_soc.a"
+  "libdetstl_soc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detstl_soc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

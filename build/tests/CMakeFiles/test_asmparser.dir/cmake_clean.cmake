@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asmparser.dir/test_asmparser.cpp.o"
+  "CMakeFiles/test_asmparser.dir/test_asmparser.cpp.o.d"
+  "test_asmparser"
+  "test_asmparser.pdb"
+  "test_asmparser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asmparser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

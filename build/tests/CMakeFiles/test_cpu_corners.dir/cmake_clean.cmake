@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_corners.dir/test_cpu_corners.cpp.o"
+  "CMakeFiles/test_cpu_corners.dir/test_cpu_corners.cpp.o.d"
+  "test_cpu_corners"
+  "test_cpu_corners.pdb"
+  "test_cpu_corners[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_corners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

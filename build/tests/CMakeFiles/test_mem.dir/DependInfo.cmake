@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_mem.cpp" "tests/CMakeFiles/test_mem.dir/test_mem.cpp.o" "gcc" "tests/CMakeFiles/test_mem.dir/test_mem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/detstl_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/detstl_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/detstl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/soc/CMakeFiles/detstl_soc.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/detstl_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/detstl_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/detstl_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/detstl_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/detstl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

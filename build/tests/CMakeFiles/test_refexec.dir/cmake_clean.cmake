@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_refexec.dir/test_refexec.cpp.o"
+  "CMakeFiles/test_refexec.dir/test_refexec.cpp.o.d"
+  "test_refexec"
+  "test_refexec.pdb"
+  "test_refexec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_refexec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

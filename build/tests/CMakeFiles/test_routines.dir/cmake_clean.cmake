@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routines.dir/test_routines.cpp.o"
+  "CMakeFiles/test_routines.dir/test_routines.cpp.o.d"
+  "test_routines"
+  "test_routines.pdb"
+  "test_routines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wrapper.dir/test_wrapper.cpp.o"
+  "CMakeFiles/test_wrapper.dir/test_wrapper.cpp.o.d"
+  "test_wrapper"
+  "test_wrapper.pdb"
+  "test_wrapper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wrapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
