@@ -1,0 +1,372 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+#include "common/bitutil.h"
+#include "mem/memmap.h"
+
+namespace detstl::analysis {
+
+using namespace isa;
+
+namespace {
+
+std::string hex(u32 v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+/// Interval spans wider than this are treated as unresolved rather than
+/// enumerated line by line (no realistic routine walks 64 KiB of scratch).
+constexpr u32 kMaxSpan = 64 * 1024;
+
+/// Execution-loop region: [head, back_edge_pc], inclusive.
+struct LoopRegion {
+  u32 head = 0;
+  u32 end = 0;
+  bool found = false;
+};
+
+LoopRegion find_loop(const isa::Program& prog, const Cfg& g,
+                     const std::string& loop_symbol) {
+  LoopRegion lr;
+  const auto edges = g.back_edges();
+  if (!loop_symbol.empty() && prog.has_symbol(loop_symbol)) {
+    lr.head = prog.symbol(loop_symbol);
+    for (const auto& [br, t] : edges) {
+      if (t == lr.head && br > lr.end) {
+        lr.end = br;
+        lr.found = true;
+      }
+    }
+    if (lr.found) return lr;
+  }
+  // Infer: merge overlapping back-edge intervals, take the widest.
+  std::vector<std::pair<u32, u32>> iv;
+  for (const auto& [br, t] : edges) iv.emplace_back(t, br);
+  std::sort(iv.begin(), iv.end());
+  std::vector<std::pair<u32, u32>> merged;
+  for (const auto& [lo, hi] : iv) {
+    if (!merged.empty() && lo <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, hi);
+    } else {
+      merged.emplace_back(lo, hi);
+    }
+  }
+  for (const auto& [lo, hi] : merged) {
+    if (!lr.found || hi - lo > lr.end - lr.head) {
+      lr.head = lo;
+      lr.end = hi;
+      lr.found = true;
+    }
+  }
+  return lr;
+}
+
+/// True when a write to r29 matches the MISR idiom (routine.cpp's
+/// emit_misr_acc: slli r26,r29,1; srli r29,r29,31; or r29,r26,r29;
+/// xor r29,r29,v) or the seed load (li r29 = lui + ori).
+bool misr_idiom_write(const Instr& in) {
+  switch (in.op) {
+    case Op::kLui:
+      return true;
+    case Op::kOri:
+      return in.rs1 == R29;
+    case Op::kSrli:
+      return in.rs1 == R29 && in.imm == 31;
+    case Op::kOr:
+    case Op::kXor:
+      return in.rs1 == R29 || in.rs2 == R29;
+    default:
+      return false;
+  }
+}
+
+/// Per-set line occupancy of one cache.
+class SetMap {
+ public:
+  explicit SetMap(const mem::CacheConfig& cfg) : cfg_(cfg) {}
+
+  void add(u32 addr, u32 pc) {
+    const u32 line = addr / cfg_.line_bytes * cfg_.line_bytes;
+    const u32 set = (addr / cfg_.line_bytes) % cfg_.num_sets();
+    auto [it, fresh] = sets_[set].insert(line);
+    (void)it;
+    if (fresh) sample_pc_[line] = pc;
+  }
+
+  u32 total_lines() const {
+    u32 n = 0;
+    for (const auto& [set, lines] : sets_) n += static_cast<u32>(lines.size());
+    return n;
+  }
+
+  /// Report every set holding more than `ways` distinct lines.
+  void report_conflicts(Report& rep, Rule rule, const char* what,
+                        std::string hint) const {
+    for (const auto& [set, lines] : sets_) {
+      if (lines.size() <= cfg_.ways) continue;
+      std::ostringstream os;
+      os << "execution-loop " << what << " maps " << lines.size()
+         << " lines onto cache set " << set << " (associativity " << cfg_.ways
+         << "): ";
+      bool first = true;
+      for (u32 line : lines) {
+        if (!first) os << ", ";
+        os << hex(line);
+        first = false;
+      }
+      rep.add(Severity::kError, rule, sample_pc_.at(*lines.begin()), os.str(),
+              hint);
+    }
+  }
+
+ private:
+  mem::CacheConfig cfg_;
+  std::map<u32, std::set<u32>> sets_;
+  std::map<u32, u32> sample_pc_;
+};
+
+}  // namespace
+
+Report analyze(const isa::Program& prog, const AnalysisConfig& cfg) {
+  Report rep;
+  ImageView image(prog);
+  if (!image.contains(prog.entry(), 4)) {
+    rep.add(Severity::kError, Rule::kUnreachableEntry, prog.entry(),
+            "entry point " + hex(prog.entry()) + " is outside the program image");
+    return rep;
+  }
+
+  // CFG/constprop fixpoint: constant-resolved JALR and MTVEC targets become
+  // new roots until the reachable set stops growing.
+  std::set<u32> roots{prog.entry()};
+  std::set<u32> isr_roots;
+  std::optional<Cfg> graph;
+  ConstPropResult cp;
+  for (int iter = 0; iter < 5; ++iter) {
+    graph.emplace(image, roots);
+    cp = propagate(*graph, cfg.data_regions);
+    bool grew = false;
+    for (u32 t : cp.jalr_targets)
+      if (image.contains(t, 4) && roots.insert(t).second) grew = true;
+    for (u32 t : cp.mtvec_targets) {
+      if (!image.contains(t, 4)) continue;
+      isr_roots.insert(t);
+      if (roots.insert(t).second) grew = true;
+    }
+    if (!grew) break;
+  }
+  const Cfg& g = *graph;
+
+  // --- structural lints -------------------------------------------------------
+
+  for (const auto& [b, bb] : g.blocks()) {
+    if (bb.falls_off) {
+      rep.add(Severity::kError, Rule::kHaltFallthrough, bb.end - 4,
+              "reachable path continues past " + hex(bb.end) +
+                  " into data or off the program image",
+              "terminate the path with halt/ret or an unconditional branch "
+              "before embedded data");
+    }
+  }
+
+  std::vector<u32> code_pcs;
+  for (const auto& [pc, in] : g.instrs())
+    if (mem::is_bus(pc) && in.valid()) code_pcs.push_back(pc);
+  const auto overlaps_code = [&](u32 lo, u32 hi) {  // [lo, hi)
+    auto it = std::lower_bound(code_pcs.begin(), code_pcs.end(),
+                               lo >= 3 ? lo - 3 : 0);
+    return it != code_pcs.end() && *it < hi;
+  };
+
+  for (const auto& [pc, in] : g.instrs()) {
+    if (!in.valid()) continue;
+    if (is_store(in.op)) {
+      auto it = cp.access_addr.find(pc);
+      if (it != cp.access_addr.end() && it->second.bounded() &&
+          it->second.width() <= kMaxSpan) {
+        const u32 lo = it->second.lo;
+        const u32 hi = it->second.hi + mem_size(in.op);
+        if (overlaps_code(lo, hi)) {
+          rep.add(Severity::kError, Rule::kSelfModifyingCode, pc,
+                  "store to [" + hex(lo) + ", " + hex(hi) +
+                      ") overwrites reachable code",
+                  "self-test code must be immutable; write results to the "
+                  "data scratch area");
+        }
+      }
+    }
+    if (writes_rd(in) && in.rd == R29 && !misr_idiom_write(in)) {
+      rep.add(Severity::kWarning, Rule::kSignatureDiscipline, pc,
+              "signature register r29 written outside the MISR idiom",
+              "fold observations with emit_misr_acc (rotate-left-1 then XOR) "
+              "so faults cannot alias to the golden signature");
+    }
+  }
+
+  // --- execution-loop cache rules ---------------------------------------------
+
+  if (!cfg.check_cache_determinism) return rep;
+
+  const LoopRegion loop = find_loop(prog, g, cfg.loop_symbol);
+  if (!loop.found) {
+    rep.add(Severity::kWarning, Rule::kUnresolvedAddress, 0,
+            "no execution loop (back edge) found; cache determinism rules "
+            "were not applied",
+            "cache-based wrappers must run the body in a loading+execution "
+            "loop (paper Fig. 2b)");
+    return rep;
+  }
+
+  // Loop footprint: the back-edge interval, plus ISR code (interrupts fire
+  // during the loop), plus callees invoked from inside the interval.
+  std::set<u32> fp;
+  for (const auto& [pc, in] : g.instrs())
+    if (pc >= loop.head && pc <= loop.end) fp.insert(pc);
+  std::set<u32> extra_roots = isr_roots;
+  for (u32 pc : fp) {
+    const Instr& in = g.instrs().at(pc);
+    if (in.op == Op::kJal && in.rd != R0) {
+      const u32 t = *direct_target(in, pc);
+      if (t < loop.head || t > loop.end) extra_roots.insert(t);
+    }
+    if (in.op == Op::kJalr && in.rd != R0) {
+      const auto st = cp.at.find(pc);
+      if (st == cp.at.end() || !st->second[in.rs1].is_const()) {
+        rep.add(Severity::kWarning, Rule::kUnresolvedAddress, pc,
+                "indirect call target inside the execution loop cannot be "
+                "resolved; the code footprint may be incomplete");
+      }
+    }
+  }
+  for (u32 pc : g.reachable_from(extra_roots)) fp.insert(pc);
+
+  // Rule 1: instruction footprint vs the I-cache.
+  SetMap imap(cfg.mem.icache);
+  for (u32 pc : fp)
+    if (mem::is_bus(pc)) imap.add(pc, pc);
+  const u32 icache_bytes = cfg.mem.icache.size_bytes;
+  if (imap.total_lines() * cfg.mem.icache.line_bytes > icache_bytes) {
+    rep.add(Severity::kError, Rule::kCodeFootprint, loop.head,
+            "execution-loop code footprint (" +
+                std::to_string(imap.total_lines() * cfg.mem.icache.line_bytes) +
+                " B over " + std::to_string(imap.total_lines()) +
+                " lines) exceeds the I-cache (" + std::to_string(icache_bytes) +
+                " B)",
+            "split the routine into cache-sized parts (paper rule 2.2)");
+  }
+  imap.report_conflicts(rep, Rule::kIcacheConflict, "code",
+                        "keep at most <associativity> code lines per set: "
+                        "pack the loop contiguously or split the routine "
+                        "(paper rule 2.2)");
+
+  // Rules 2-4: data footprint vs the D-cache, bus-coupled accesses, and the
+  // no-write-allocate dummy-load fix-up.
+  SetMap dmap(cfg.mem.dcache);
+  std::set<u32> loaded_lines;
+  std::vector<std::pair<u32, std::vector<u32>>> store_lines;  // pc -> lines
+  for (u32 pc : fp) {
+    const Instr& in = g.instrs().at(pc);
+    if (!in.valid() || (!is_load(in.op) && !is_store(in.op))) continue;
+    const u32 size = mem_size(in.op);
+    if (in.op == Op::kAmoAdd) {
+      rep.add(Severity::kError, Rule::kNoncacheableAccess, pc,
+              "atomic access inside the execution loop is serviced by the "
+              "shared bus and re-couples the test to bus contention",
+              "move synchronisation outside the loading/execution loop");
+      continue;
+    }
+    auto it = cp.access_addr.find(pc);
+    const AVal addr = it == cp.access_addr.end() ? AVal::top() : it->second;
+    if (!addr.bounded() || addr.width() > kMaxSpan) {
+      rep.add(Severity::kWarning, Rule::kUnresolvedAddress, pc,
+              "memory access address inside the execution loop cannot be "
+              "bounded; cache-residence cannot be proven",
+              "use static addressing from li/la bases (paper Sec. III)");
+      continue;
+    }
+    const u32 lo = addr.lo;
+    const u32 hi = addr.hi + size;  // [lo, hi)
+    bool shared = false;
+    for (const auto& r : cfg.shared_regions) {
+      if (r.overlaps(lo, hi)) {
+        rep.add(Severity::kError, Rule::kNoncacheableAccess, pc,
+                "access to shared communication region [" + hex(r.base) + ", " +
+                    hex(r.end()) + ") inside the execution loop",
+                "mailbox/barrier traffic must happen before the loop or "
+                "after it with the caches disabled");
+        shared = true;
+        break;
+      }
+    }
+    if (shared) continue;
+    const bool tcm = (mem::is_itcm(lo) && mem::is_itcm(hi - 1)) ||
+                     (mem::is_dtcm(lo) && mem::is_dtcm(hi - 1));
+    if (tcm) continue;  // private single-cycle memory: never on the bus
+    const bool bus = mem::is_bus(lo) && mem::is_bus(hi - 1);
+    if (!bus) {
+      rep.add(Severity::kError, Rule::kNoncacheableAccess, pc,
+              "access to [" + hex(lo) + ", " + hex(hi) +
+                  ") targets unmapped or mixed address space inside the "
+                  "execution loop");
+      continue;
+    }
+    if (is_store(in.op) && mem::is_flash(lo)) {
+      rep.add(Severity::kError, Rule::kNoncacheableAccess, pc,
+              "store to flash at " + hex(lo) + " inside the execution loop",
+              "stores must target the SRAM data scratch area");
+      continue;
+    }
+    std::vector<u32> lines;
+    const u32 lb = cfg.mem.dcache.line_bytes;
+    for (u32 line = lo / lb * lb; line < hi; line += lb) {
+      dmap.add(line, pc);
+      lines.push_back(line);
+      if (is_load(in.op)) loaded_lines.insert(line);
+    }
+    if (is_store(in.op)) store_lines.emplace_back(pc, std::move(lines));
+  }
+  dmap.report_conflicts(rep, Rule::kDcacheConflict, "data",
+                        "shrink or realign the data footprint so at most "
+                        "<associativity> lines alias each set");
+
+  if (!cfg.write_allocate) {
+    for (const auto& [pc, lines] : store_lines) {
+      for (u32 line : lines) {
+        if (!loaded_lines.count(line)) {
+          rep.add(Severity::kError, Rule::kNwaMissingDummyLoad, pc,
+                  "store to line " + hex(line) +
+                      " with write-allocate disabled, and no load in the loop "
+                      "touches that line: every execution-loop iteration "
+                      "writes around the cache onto the bus",
+                  "follow the store with a dummy load of the same address "
+                  "(paper Sec. III step 1)");
+          break;
+        }
+      }
+    }
+  }
+
+  // Rule 5: counter reads feeding the signature without opting in.
+  if (!cfg.use_perf_counters) {
+    for (const auto& [pc, in] : g.instrs()) {
+      if (in.op != Op::kCsrr || !is_counter_csr(in.csr)) continue;
+      const bool in_loop = fp.count(pc) != 0;
+      rep.add(in_loop ? Severity::kError : Severity::kWarning,
+              Rule::kPerfCounterRead, pc,
+              std::string("performance-counter CSR read") +
+                  (in_loop ? " inside the execution loop" : "") +
+                  " with use_perf_counters=false",
+              "set use_perf_counters=true (and recalibrate) or drop the read; "
+              "un-audited counter values destabilise the signature");
+    }
+  }
+
+  return rep;
+}
+
+}  // namespace detstl::analysis

@@ -1,0 +1,65 @@
+#pragma once
+// Static determinism verifier for cache-wrapped self-test routines.
+//
+// The paper's guarantee (Sec. III) holds only if, during the execution loop,
+// every instruction fetch and data access of the wrapped routine hits in the
+// private L1s. This pass proves that property on the assembled program —
+// before any simulation — or refutes it with precise diagnostics:
+//
+//  1. CFG + reachability over the decoded instruction stream (cfg.h);
+//  2. code-footprint analysis mapping every reachable in-loop fetch to
+//     I-cache sets, rejecting capacity/conflict self-evictions;
+//  3. data-access interval analysis (constprop.h) mapping loads/stores to
+//     D-cache sets, flagging bus-coupled accesses inside the loop and stores
+//     lacking the no-write-allocate dummy-load fix-up;
+//  4. structural lints: self-modifying code, fall-through past halt,
+//     signature updates outside the MISR idiom, perf-counter reads with
+//     use_perf_counters=false.
+
+#include <stdexcept>
+#include <string>
+
+#include "analysis/constprop.h"
+#include "analysis/diag.h"
+#include "mem/memsys.h"
+
+namespace detstl::analysis {
+
+struct AnalysisConfig {
+  mem::MemSystemConfig mem{};
+
+  /// Apply the execution-loop cache rules (2-3 above). Off for plain/TCM
+  /// wrappers whose determinism argument does not rest on the caches.
+  bool check_cache_determinism = true;
+  bool write_allocate = true;
+  bool use_perf_counters = false;
+
+  /// Label of the execution-loop head (e.g. "t0_loop"). When empty or
+  /// undefined in the program, the loop is inferred as the outermost
+  /// back-edge interval.
+  std::string loop_symbol;
+
+  /// Declared data scratch areas (routine data contract). Guides interval
+  /// widening and the D-cache footprint.
+  std::vector<AddrRange> data_regions;
+
+  /// Shared-communication areas (mailboxes, barrier counters). Any in-loop
+  /// access re-couples the test to the bus/coherence protocol and is an
+  /// error.
+  std::vector<AddrRange> shared_regions;
+};
+
+/// Thrown by enforcing callers (build_wrapped with LintMode::kEnforce).
+class AnalysisError : public std::runtime_error {
+ public:
+  AnalysisError(std::string what, Report report)
+      : std::runtime_error(std::move(what)), report_(std::move(report)) {}
+  const Report& report() const { return report_; }
+
+ private:
+  Report report_;
+};
+
+Report analyze(const isa::Program& prog, const AnalysisConfig& cfg);
+
+}  // namespace detstl::analysis

@@ -1,0 +1,167 @@
+#include "analysis/cfg.h"
+
+namespace detstl::analysis {
+
+using namespace isa;
+
+bool ImageView::contains(u32 addr, u32 size) const {
+  for (const auto& seg : prog_->segments())
+    if (addr >= seg.base && addr + size <= seg.end()) return true;
+  return false;
+}
+
+std::optional<u32> ImageView::word_at(u32 addr) const {
+  for (const auto& seg : prog_->segments()) {
+    if (addr >= seg.base && addr + 4 <= seg.end()) {
+      const u32 off = addr - seg.base;
+      return static_cast<u32>(seg.bytes[off]) |
+             (static_cast<u32>(seg.bytes[off + 1]) << 8) |
+             (static_cast<u32>(seg.bytes[off + 2]) << 16) |
+             (static_cast<u32>(seg.bytes[off + 3]) << 24);
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// Same-register branches decide statically: beq/bge/bgeu x,x always take
+/// (the `beq r0,r0` goto idiom), bne/blt/bltu x,x never do.
+enum class BranchFold { kNone, kAlwaysTaken, kNeverTaken };
+
+BranchFold fold_branch(const Instr& in) {
+  if (!is_branch(in.op) || in.rs1 != in.rs2) return BranchFold::kNone;
+  switch (in.op) {
+    case Op::kBeq: case Op::kBge: case Op::kBgeu:
+      return BranchFold::kAlwaysTaken;
+    default:
+      return BranchFold::kNeverTaken;
+  }
+}
+
+/// Successor PCs encoded directly in the instruction. JALR contributes only
+/// its call fall-through (rd!=r0); a JALR with rd==r0 is a return/indirect
+/// jump and terminates the path.
+void instr_succs(const Instr& in, u32 pc, std::vector<u32>& out) {
+  out.clear();
+  const BranchFold fold = fold_branch(in);
+  if (const auto t = direct_target(in, pc))
+    if (fold != BranchFold::kNeverTaken) out.push_back(*t);
+  if (falls_through(in)) {
+    if (fold != BranchFold::kAlwaysTaken) out.push_back(pc + 4);
+  } else if ((in.op == Op::kJal || in.op == Op::kJalr) && in.rd != R0) {
+    // Call approximation: assume the callee eventually returns here.
+    out.push_back(pc + 4);
+  }
+}
+
+bool ends_block(const Instr& in) {
+  return is_branch(in.op) || is_jump(in.op) || in.op == Op::kHalt ||
+         in.op == Op::kEret;
+}
+
+}  // namespace
+
+Cfg::Cfg(const ImageView& image, const std::set<u32>& roots) : roots_(roots) {
+  explore(image);
+}
+
+void Cfg::explore(const ImageView& image) {
+  // Pass 1: decode every reachable instruction.
+  std::vector<u32> work(roots_.begin(), roots_.end());
+  std::vector<u32> succs;
+  while (!work.empty()) {
+    const u32 pc = work.back();
+    work.pop_back();
+    if (instrs_.count(pc)) continue;
+    const auto word = image.word_at(pc);
+    if (!word) continue;  // off the image: the lint pass reports it
+    const Instr in = decode(*word);
+    instrs_[pc] = in;
+    if (!in.valid()) continue;
+    instr_succs(in, pc, succs);
+    for (u32 s : succs)
+      if (!instrs_.count(s)) work.push_back(s);
+  }
+
+  // Pass 2: block leaders — roots, transfer targets, post-transfer PCs.
+  std::set<u32> leaders(roots_.begin(), roots_.end());
+  for (const auto& [pc, in] : instrs_) {
+    if (!in.valid()) continue;
+    if (const auto t = direct_target(in, pc)) leaders.insert(*t);
+    if (ends_block(in)) leaders.insert(pc + 4);
+  }
+
+  // Pass 3: group into blocks and wire successor edges.
+  for (auto it = instrs_.begin(); it != instrs_.end();) {
+    BasicBlock bb;
+    bb.begin = it->first;
+    u32 pc = bb.begin;
+    const Instr* last = &it->second;
+    while (true) {
+      last = &it->second;
+      pc = it->first + 4;
+      ++it;
+      if (!last->valid() || ends_block(*last)) break;
+      if (it == instrs_.end() || it->first != pc || leaders.count(pc)) break;
+    }
+    bb.end = pc;
+    if (last->valid()) {
+      instr_succs(*last, bb.end - 4, bb.succs);
+      bb.has_indirect = last->op == Op::kJalr;
+      // A successor that was never decoded means the path leaves the image
+      // or lands on a data word.
+      for (u32 s : bb.succs) {
+        auto f = instrs_.find(s);
+        if (f == instrs_.end() || !f->second.valid()) bb.falls_off = true;
+      }
+    } else {
+      bb.falls_off = true;  // decoded a data word: upstream path fell into it
+    }
+    blocks_[bb.begin] = bb;
+  }
+}
+
+const BasicBlock* Cfg::block_at(u32 begin) const {
+  auto it = blocks_.find(begin);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+const BasicBlock* Cfg::block_of(u32 pc) const {
+  auto it = blocks_.upper_bound(pc);
+  if (it == blocks_.begin()) return nullptr;
+  --it;
+  return pc < it->second.end ? &it->second : nullptr;
+}
+
+std::vector<std::pair<u32, u32>> Cfg::back_edges() const {
+  std::vector<std::pair<u32, u32>> edges;
+  for (const auto& [pc, in] : instrs_) {
+    if (!in.valid()) continue;
+    if (const auto t = direct_target(in, pc))
+      if (*t <= pc) edges.emplace_back(pc, *t);
+  }
+  return edges;
+}
+
+std::set<u32> Cfg::reachable_from(const std::set<u32>& from) const {
+  std::set<u32> pcs;
+  std::set<u32> seen;
+  std::vector<u32> work;
+  for (u32 b : from)
+    if (blocks_.count(b)) {
+      work.push_back(b);
+      seen.insert(b);
+    }
+  while (!work.empty()) {
+    const u32 b = work.back();
+    work.pop_back();
+    const BasicBlock& bb = blocks_.at(b);
+    for (u32 pc = bb.begin; pc < bb.end; pc += 4) pcs.insert(pc);
+    for (u32 s : bb.succs)
+      if (blocks_.count(s) && seen.insert(s).second) work.push_back(s);
+  }
+  return pcs;
+}
+
+}  // namespace detstl::analysis

@@ -1,0 +1,71 @@
+#pragma once
+// Control-flow graph over a linked isa::Program. Instructions are decoded
+// on demand starting from a set of roots (the entry point, trap vectors,
+// constant-resolved indirect targets), so embedded data words — golden
+// signature constants, tables — are never misinterpreted as code unless a
+// reachable path actually falls into them (which is precisely the
+// halt-fallthrough lint).
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "isa/encoding.h"
+#include "isa/program.h"
+
+namespace detstl::analysis {
+
+/// Flat byte-addressed view over a Program's segments.
+class ImageView {
+ public:
+  explicit ImageView(const isa::Program& prog) : prog_(&prog) {}
+
+  bool contains(u32 addr, u32 size = 1) const;
+  std::optional<u32> word_at(u32 addr) const;
+
+  const isa::Program& program() const { return *prog_; }
+
+ private:
+  const isa::Program* prog_;
+};
+
+struct BasicBlock {
+  u32 begin = 0;               // address of the first instruction
+  u32 end = 0;                 // one past the last instruction
+  std::vector<u32> succs;      // successor block begin addresses
+  bool has_indirect = false;   // ends in JALR (target register-indirect)
+  bool falls_off = false;      // fall-through leaves decodable code
+};
+
+class Cfg {
+ public:
+  /// Explore from `roots`. Decoding stops at invalid words and image edges
+  /// (recorded as falls_off on the offending block).
+  Cfg(const ImageView& image, const std::set<u32>& roots);
+
+  const std::map<u32, isa::Instr>& instrs() const { return instrs_; }
+  const std::map<u32, BasicBlock>& blocks() const { return blocks_; }
+  const std::set<u32>& roots() const { return roots_; }
+
+  bool reachable(u32 pc) const { return instrs_.count(pc) != 0; }
+  const BasicBlock* block_at(u32 begin) const;
+  /// Block containing `pc`, or nullptr.
+  const BasicBlock* block_of(u32 pc) const;
+
+  /// Back edges: (branch pc, target pc) with target <= branch pc.
+  std::vector<std::pair<u32, u32>> back_edges() const;
+
+  /// All instruction PCs reachable from `from` block begins, following
+  /// successor edges (used to gather the execution-loop footprint).
+  std::set<u32> reachable_from(const std::set<u32>& from) const;
+
+ private:
+  void explore(const ImageView& image);
+
+  std::set<u32> roots_;
+  std::map<u32, isa::Instr> instrs_;
+  std::map<u32, BasicBlock> blocks_;
+};
+
+}  // namespace detstl::analysis

@@ -1,0 +1,178 @@
+#include "analysis/constprop.h"
+
+#include "isa/alu.h"
+
+namespace detstl::analysis {
+
+using namespace isa;
+
+AVal join(const AVal& a, const AVal& b) {
+  if (a.kind == AVal::kBot) return b;
+  if (b.kind == AVal::kBot) return a;
+  if (a.kind == AVal::kTop || b.kind == AVal::kTop) return AVal::top();
+  return AVal::range(std::min(a.lo, b.lo), std::max(a.hi, b.hi));
+}
+
+namespace {
+
+/// Joins at a loop head before the interval is widened. Large enough that
+/// short strided loops (64-byte scratch walks) still converge exactly.
+constexpr unsigned kWidenAfter = 64;
+
+AVal shifted(const AVal& a, i64 delta) {
+  if (!a.bounded()) return a;
+  const i64 lo = static_cast<i64>(a.lo) + delta;
+  const i64 hi = static_cast<i64>(a.hi) + delta;
+  if (lo < 0 || hi > 0xffffffffll) return AVal::top();
+  return AVal::range(static_cast<u32>(lo), static_cast<u32>(hi));
+}
+
+AVal add_vals(const AVal& a, const AVal& b) {
+  if (b.is_const()) return shifted(a, static_cast<i64>(b.lo));
+  if (a.is_const()) return shifted(b, static_cast<i64>(a.lo));
+  if (!a.bounded() || !b.bounded()) return AVal::top();
+  const i64 lo = static_cast<i64>(a.lo) + b.lo;
+  const i64 hi = static_cast<i64>(a.hi) + b.hi;
+  if (hi > 0xffffffffll) return AVal::top();
+  return AVal::range(static_cast<u32>(lo), static_cast<u32>(hi));
+}
+
+AVal sub_vals(const AVal& a, const AVal& b) {
+  if (!a.bounded() || !b.bounded()) return AVal::top();
+  const i64 lo = static_cast<i64>(a.lo) - b.hi;
+  const i64 hi = static_cast<i64>(a.hi) - b.lo;
+  if (lo < 0) return AVal::top();
+  return AVal::range(static_cast<u32>(lo), static_cast<u32>(hi));
+}
+
+/// Abstract transfer of one instruction.
+void transfer(const Instr& in, u32 pc, RegState& regs) {
+  if (!in.valid() || !writes_rd(in)) return;
+  AVal v = AVal::top();
+  const AVal a = regs[in.rs1];
+  switch (op_class(in.op)) {
+    case OpClass::kAlu:
+    case OpClass::kMulDiv: {
+      const bool imm_form = !reads_rs2(in);
+      const AVal b = imm_form ? AVal::cst(static_cast<u32>(in.imm)) : regs[in.rs2];
+      const bool unary = !reads_rs1(in);  // LUI
+      if ((unary || a.is_const()) && b.is_const() && !is_r64(in.op)) {
+        v = AVal::cst(alu32(in.op, unary ? 0 : a.lo, b.lo).value);
+      } else if (in.op == Op::kAdd) {
+        v = add_vals(a, b);
+      } else if (in.op == Op::kAddi) {
+        v = shifted(a, in.imm);
+      } else if (in.op == Op::kSub) {
+        v = sub_vals(a, b);
+      }
+      break;
+    }
+    case OpClass::kMem:
+      v = AVal::top();  // loaded data / AMO old value
+      break;
+    case OpClass::kBranch:
+      if (in.op == Op::kJal || in.op == Op::kJalr) v = AVal::cst(pc + 4);
+      break;
+    case OpClass::kSys:
+    case OpClass::kInvalid:
+      v = AVal::top();  // CSR reads
+      break;
+  }
+  regs[in.rd] = v;
+  if (is_r64(in.op) && in.rd + 1u < kNumRegs) regs[in.rd + 1] = AVal::top();
+  regs[R0] = AVal::cst(0);
+}
+
+/// Widen `nv` (the grown hull at a loop head): clamp to the declared data
+/// region the old value lived in, or give up to top. The clamp is a fixpoint
+/// — a further stride past `end()` (the loop-exit compare bound) re-clamps to
+/// the same interval instead of escaping to top.
+AVal widen(const AVal& old, const AVal& nv,
+           const std::vector<AddrRange>& regions) {
+  if (!old.bounded() || !nv.bounded()) return AVal::top();
+  for (const auto& r : regions) {
+    if (r.contains(old.lo) && nv.lo >= r.base && nv.lo <= r.end())
+      return AVal::range(r.base, r.end());  // include the one-past-end bound
+  }
+  return AVal::top();
+}
+
+}  // namespace
+
+ConstPropResult propagate(const Cfg& cfg,
+                          const std::vector<AddrRange>& data_regions) {
+  ConstPropResult res;
+
+  std::map<u32, RegState> in_state;
+  std::map<u32, unsigned> join_count;
+  RegState entry_state;
+  entry_state.fill(AVal::top());  // registers are unknown at entry
+  entry_state[R0] = AVal::cst(0);
+
+  std::vector<u32> work;
+  for (u32 r : cfg.roots())
+    if (cfg.block_at(r)) {
+      in_state[r] = entry_state;
+      work.push_back(r);
+    }
+
+  while (!work.empty()) {
+    const u32 b = work.back();
+    work.pop_back();
+    const BasicBlock* bb = cfg.block_at(b);
+    if (!bb) continue;
+    RegState regs = in_state.at(b);
+    for (u32 pc = bb->begin; pc < bb->end; pc += 4) {
+      transfer(cfg.instrs().at(pc), pc, regs);
+    }
+    for (u32 s : bb->succs) {
+      if (!cfg.block_at(s)) continue;
+      auto it = in_state.find(s);
+      if (it == in_state.end()) {
+        in_state[s] = regs;
+        work.push_back(s);
+        continue;
+      }
+      RegState merged = it->second;
+      bool changed = false;
+      const bool widening = ++join_count[s] > kWidenAfter;
+      for (unsigned r = 0; r < kNumRegs; ++r) {
+        AVal nv = join(merged[r], regs[r]);
+        if (nv == merged[r]) continue;
+        if (widening) nv = widen(merged[r], nv, data_regions);
+        if (!(nv == merged[r])) {
+          merged[r] = nv;
+          changed = true;
+        }
+      }
+      if (changed) {
+        it->second = merged;
+        work.push_back(s);
+      }
+    }
+  }
+
+  // Final pass: record per-instruction states and resolved addresses.
+  for (const auto& [b, bb] : cfg.blocks()) {
+    auto it = in_state.find(b);
+    if (it == in_state.end()) continue;  // dead block (unreached root)
+    RegState regs = it->second;
+    for (u32 pc = bb.begin; pc < bb.end; pc += 4) {
+      const Instr& in = cfg.instrs().at(pc);
+      res.at[pc] = regs;
+      if (in.valid() && (is_load(in.op) || is_store(in.op))) {
+        const i64 off = in.op == Op::kAmoAdd ? 0 : in.imm;
+        res.access_addr[pc] = shifted(regs[in.rs1], off);
+      }
+      if (in.op == Op::kJalr && regs[in.rs1].is_const())
+        res.jalr_targets.push_back(regs[in.rs1].lo + static_cast<u32>(in.imm));
+      if (in.op == Op::kCsrw && in.csr == static_cast<u16>(Csr::kMtvec) &&
+          regs[in.rs1].is_const())
+        res.mtvec_targets.push_back(regs[in.rs1].lo);
+      transfer(in, pc, regs);
+    }
+  }
+  return res;
+}
+
+}  // namespace detstl::analysis

@@ -1,0 +1,59 @@
+#include "analysis/diag.h"
+
+#include <sstream>
+
+namespace detstl::analysis {
+
+const char* rule_id(Rule r) {
+  switch (r) {
+    case Rule::kIcacheConflict: return "icache-conflict";
+    case Rule::kDcacheConflict: return "dcache-conflict";
+    case Rule::kCodeFootprint: return "code-footprint";
+    case Rule::kNoncacheableAccess: return "noncacheable-access";
+    case Rule::kNwaMissingDummyLoad: return "nwa-missing-dummy-load";
+    case Rule::kSelfModifyingCode: return "self-modifying-code";
+    case Rule::kHaltFallthrough: return "halt-fallthrough";
+    case Rule::kSignatureDiscipline: return "signature-discipline";
+    case Rule::kPerfCounterRead: return "perf-counter-read";
+    case Rule::kUnresolvedAddress: return "unresolved-address";
+    case Rule::kUnreachableEntry: return "unreachable-entry";
+  }
+  return "?";
+}
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+void Report::add(Severity sev, Rule rule, u32 pc, std::string message,
+                 std::string hint) {
+  if (sev == Severity::kError) ++errors_;
+  if (sev == Severity::kWarning) ++warnings_;
+  diags_.push_back(
+      Diagnostic{sev, rule, pc, std::move(message), std::move(hint)});
+}
+
+bool Report::has(Rule rule) const {
+  for (const auto& d : diags_)
+    if (d.rule == rule) return true;
+  return false;
+}
+
+std::string Report::format() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) {
+    os << severity_name(d.severity) << '[' << rule_id(d.rule) << ']';
+    if (d.pc != 0) os << " pc=0x" << std::hex << d.pc << std::dec;
+    os << ": " << d.message << '\n';
+    if (!d.hint.empty()) os << "  hint: " << d.hint << '\n';
+  }
+  os << errors_ << " error(s), " << warnings_ << " warning(s)\n";
+  return os.str();
+}
+
+}  // namespace detstl::analysis

@@ -1,0 +1,64 @@
+#pragma once
+// Structured diagnostics for the static determinism verifier. Every finding
+// carries a machine-readable rule id, a severity, the PC it anchors to and a
+// fix hint, so the CLI (tools/stlint.cpp), the build_wrapped() verification
+// hook and the tests can all consume the same report.
+
+#include <string>
+#include <vector>
+
+#include "common/bitutil.h"
+
+namespace detstl::analysis {
+
+enum class Severity : u8 { kInfo, kWarning, kError };
+
+/// Rule catalogue (documented with paper references in docs/static_analysis.md).
+enum class Rule : u8 {
+  kIcacheConflict,       // loop code maps >ways lines onto one I$ set
+  kDcacheConflict,       // loop data maps >ways lines onto one D$ set
+  kCodeFootprint,        // reachable code exceeds the I$ capacity
+  kNoncacheableAccess,   // bus-coupled access inside the execution loop
+  kNwaMissingDummyLoad,  // store without the no-write-allocate fix-up
+  kSelfModifyingCode,    // store targets the reachable code image
+  kHaltFallthrough,      // reachable path runs past the code into data
+  kSignatureDiscipline,  // r29 written outside the MISR idiom
+  kPerfCounterRead,      // counter CSR read with use_perf_counters=false
+  kUnresolvedAddress,    // memory access the interval analysis cannot bound
+  kUnreachableEntry,     // entry point outside the program image
+};
+
+const char* rule_id(Rule r);
+const char* severity_name(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  Rule rule = Rule::kHaltFallthrough;
+  u32 pc = 0;  // instruction the finding anchors to (0 = program-level)
+  std::string message;
+  std::string hint;  // how to fix (may be empty)
+};
+
+class Report {
+ public:
+  void add(Severity sev, Rule rule, u32 pc, std::string message,
+           std::string hint = {});
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  unsigned errors() const { return errors_; }
+  unsigned warnings() const { return warnings_; }
+  bool clean() const { return errors_ == 0; }
+
+  /// True when at least one diagnostic carries `rule`.
+  bool has(Rule rule) const;
+
+  /// Multi-line human-readable rendering ("error[icache-conflict] pc=0x...").
+  std::string format() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  unsigned errors_ = 0;
+  unsigned warnings_ = 0;
+};
+
+}  // namespace detstl::analysis

@@ -1,0 +1,175 @@
+#include "analysis/fixtures.h"
+
+#include "isa/assembler.h"
+#include "mem/memmap.h"
+
+namespace detstl::analysis {
+
+using namespace isa;
+
+namespace {
+
+constexpr u32 kCodeBase = mem::kFlashBase + 0x1000;
+constexpr u32 kDataBase = mem::kSramBase + 0x8000;
+
+/// Code looping across three chunks 4 KiB apart: with the default 8 KiB
+/// 2-way 32 B-line I-cache the set index cycles every 4 KiB, so all three
+/// chunks alias one set — a guaranteed self-eviction every iteration.
+Fixture set_conflict() {
+  Assembler a(kCodeBase);
+  a.li(R1, 2);
+  a.label("loop");
+  a.addi(R2, R0, 1);
+  a.beq(R0, R0, "c2");
+  a.org(kCodeBase + 4096);
+  a.label("c2");
+  a.addi(R2, R2, 1);
+  a.beq(R0, R0, "c3");
+  a.org(kCodeBase + 8192);
+  a.label("c3");
+  a.addi(R1, R1, -1);
+  a.bne(R1, R0, "loop");
+  a.halt();
+  Fixture f;
+  f.name = "set-conflict";
+  f.description = "loop code footprint aliases one I-cache set beyond its "
+                  "associativity (self-eviction in the execution loop)";
+  f.prog = a.assemble();
+  f.cfg.loop_symbol = "loop";
+  f.expect = Rule::kIcacheConflict;
+  return f;
+}
+
+/// Mailbox store inside the execution loop: the verdict protocol requires
+/// uncached shared-SRAM traffic, which re-couples the loop to the bus.
+Fixture noncacheable() {
+  Assembler a(kCodeBase);
+  a.li(R24, mem::kSramBase);  // mailbox region
+  a.li(R1, 2);
+  a.label("loop");
+  a.sw(R0, R24, 0);
+  a.addi(R1, R1, -1);
+  a.bne(R1, R0, "loop");
+  a.halt();
+  Fixture f;
+  f.name = "noncacheable";
+  f.description = "shared mailbox region accessed inside the execution loop";
+  f.prog = a.assemble();
+  f.cfg.loop_symbol = "loop";
+  f.cfg.shared_regions = {{mem::kSramBase, 3 * 32}};
+  f.expect = Rule::kNoncacheableAccess;
+  return f;
+}
+
+/// Store without the dummy-load fix-up under no-write-allocate: every
+/// execution-loop iteration writes around the cache onto the bus.
+Fixture nwa_dummy_load() {
+  Assembler a(kCodeBase);
+  a.li(R25, kDataBase);
+  a.li(R1, 2);
+  a.label("loop");
+  a.addi(R2, R0, 0x77);
+  a.sw(R2, R25, 0);  // never loaded back: line is never allocated
+  a.addi(R1, R1, -1);
+  a.bne(R1, R0, "loop");
+  a.halt();
+  Fixture f;
+  f.name = "nwa-dummy-load";
+  f.description = "no-write-allocate store lacking the dummy-load fix-up "
+                  "(paper Sec. III step 1)";
+  f.prog = a.assemble();
+  f.cfg.loop_symbol = "loop";
+  f.cfg.write_allocate = false;
+  f.cfg.data_regions = {{kDataBase, 64}};
+  f.expect = Rule::kNwaMissingDummyLoad;
+  return f;
+}
+
+/// Code that runs off the end into an embedded data word instead of halting.
+Fixture halt_fallthrough() {
+  Assembler a(kCodeBase);
+  a.li(R1, 5);
+  a.addi(R2, R1, 1);
+  a.word(0);  // data word directly in the fall-through path
+  Fixture f;
+  f.name = "halt-fallthrough";
+  f.description = "reachable path falls through past the code into data";
+  f.prog = a.assemble();
+  f.cfg.check_cache_determinism = false;
+  f.expect = Rule::kHaltFallthrough;
+  return f;
+}
+
+/// Store targeting the program's own (reachable) code bytes.
+Fixture self_modifying() {
+  Assembler a(kCodeBase);
+  a.label("entry");
+  a.la(R1, "entry");
+  a.addi(R2, R0, 0);
+  a.sw(R2, R1, 0);
+  a.halt();
+  Fixture f;
+  f.name = "self-modifying";
+  f.description = "store overwrites reachable code";
+  f.prog = a.assemble();
+  f.cfg.check_cache_determinism = false;
+  f.expect = Rule::kSelfModifyingCode;
+  return f;
+}
+
+/// Signature register updated with a plain add instead of the MISR fold.
+Fixture signature_discipline() {
+  Assembler a(kCodeBase);
+  a.addi(R29, R29, 1);
+  a.halt();
+  Fixture f;
+  f.name = "signature-discipline";
+  f.description = "r29 written outside the MISR rotate-xor idiom";
+  f.prog = a.assemble();
+  f.cfg.check_cache_determinism = false;
+  f.expect = Rule::kSignatureDiscipline;
+  f.expect_severity = Severity::kWarning;
+  return f;
+}
+
+/// Free-running counter folded into the loop without use_perf_counters.
+Fixture perf_counter() {
+  Assembler a(kCodeBase);
+  a.li(R1, 2);
+  a.label("loop");
+  a.csrr(R5, Csr::kCycle);
+  a.addi(R1, R1, -1);
+  a.bne(R1, R0, "loop");
+  a.halt();
+  Fixture f;
+  f.name = "perf-counter";
+  f.description = "performance-counter CSR read inside the execution loop "
+                  "with use_perf_counters=false";
+  f.prog = a.assemble();
+  f.cfg.loop_symbol = "loop";
+  f.expect = Rule::kPerfCounterRead;
+  return f;
+}
+
+}  // namespace
+
+std::vector<Fixture> negative_fixtures() {
+  std::vector<Fixture> fs;
+  fs.push_back(set_conflict());
+  fs.push_back(noncacheable());
+  fs.push_back(nwa_dummy_load());
+  fs.push_back(halt_fallthrough());
+  fs.push_back(self_modifying());
+  fs.push_back(signature_discipline());
+  fs.push_back(perf_counter());
+  return fs;
+}
+
+const Fixture* find_fixture(const std::vector<Fixture>& fixtures,
+                            const std::string& name) {
+  for (const auto& f : fixtures)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+}  // namespace detstl::analysis

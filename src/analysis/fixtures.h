@@ -1,0 +1,31 @@
+#pragma once
+// Purpose-built negative programs, one per rule class, used three ways: by
+// `stlint --fixture <name>` (a runnable demo of each diagnostic), by the
+// ctest exit-code checks, and by the unit tests. Each fixture is a small
+// assembled program engineered to violate exactly one determinism rule.
+
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+
+namespace detstl::analysis {
+
+struct Fixture {
+  std::string name;
+  std::string description;
+  isa::Program prog;
+  AnalysisConfig cfg;
+  Rule expect;
+  Severity expect_severity = Severity::kError;
+};
+
+/// All negative fixtures. Each must produce its `expect` rule (and nothing
+/// below `expect_severity`) under its bundled config.
+std::vector<Fixture> negative_fixtures();
+
+/// Fixture by name, or nullptr.
+const Fixture* find_fixture(const std::vector<Fixture>& fixtures,
+                            const std::string& name);
+
+}  // namespace detstl::analysis

@@ -1,5 +1,6 @@
 #include "core/wrapper.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/signature.h"
@@ -221,6 +222,20 @@ void emit_tcm_based(Assembler& a, const SelfTestRoutine& r, const BuildEnv& env,
 
 }  // namespace
 
+analysis::AnalysisConfig lint_config(const SelfTestRoutine& r, WrapperKind w,
+                                     const BuildEnv& env) {
+  analysis::AnalysisConfig cfg;
+  // Only the cache-based wrapper's guarantee rests on L1 residence; plain
+  // and TCM wrappers get the structural lints only.
+  cfg.check_cache_determinism = w == WrapperKind::kCacheBased;
+  cfg.write_allocate = env.write_allocate;
+  cfg.use_perf_counters = use_pcs(r, env);
+  cfg.loop_symbol = "t0_loop";
+  cfg.data_regions = {{env.data_base, std::max<u32>(r.data_bytes(), 4)}};
+  cfg.shared_regions = {{mailbox_of(env), soc::kMailboxStride}};
+  return cfg;
+}
+
 std::string emit_wrapped(Assembler& a, const SelfTestRoutine& r, WrapperKind w,
                          const BuildEnv& env, u32 golden,
                          const std::string& p) {
@@ -285,6 +300,17 @@ BuiltTest build_wrapped(const SelfTestRoutine& r, WrapperKind w, const BuildEnv&
                      std::to_string(bt.code_bytes) +
                      " B) exceeds the I-cache (" + std::to_string(icache_bytes) +
                      " B); split the routine (paper rule 2.2)");
+    }
+  }
+  if (env.lint != LintMode::kOff) {
+    // Lint the standalone (halt-terminated) variant: suite programs splice
+    // the subroutine form into a larger image that is linted as a whole.
+    bt.lint = analysis::analyze(env.as_subroutine ? p0 : bt.prog,
+                                lint_config(r, w, env));
+    if (env.lint == LintMode::kEnforce && !bt.lint.clean()) {
+      throw analysis::AnalysisError(
+          r.name() + " (" + wrapper_name(w) + "): static determinism check "
+          "failed\n" + bt.lint.format(), bt.lint);
     }
   }
   return bt;

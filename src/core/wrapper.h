@@ -21,6 +21,7 @@
 
 #include <memory>
 
+#include "analysis/analyzer.h"
 #include "core/routine.h"
 #include "isa/program.h"
 #include "soc/soc.h"
@@ -30,6 +31,12 @@ namespace detstl::core {
 enum class WrapperKind : u8 { kPlain, kCacheBased, kTcmBased };
 
 const char* wrapper_name(WrapperKind k);
+
+/// What build_wrapped() does with the static determinism verifier
+/// (analysis/analyzer.h): skip it, attach its report to the BuiltTest
+/// (default), or additionally throw AnalysisError on any error-severity
+/// finding.
+enum class LintMode : u8 { kOff, kReport, kEnforce };
 
 struct BuildEnv {
   u32 code_base = mem::kFlashBase + 0x1000;  // flash placement (position knob)
@@ -50,6 +57,8 @@ struct BuildEnv {
   /// Suite mode: end with `ret` instead of `halt` so a scheduler can chain
   /// routines; the caller provides prologue/halt.
   bool as_subroutine = false;
+  /// Static verification of the calibrated program (see LintMode).
+  LintMode lint = LintMode::kReport;
 };
 
 struct BuiltTest {
@@ -61,7 +70,14 @@ struct BuiltTest {
   u32 tcm_bytes = 0;     // ITCM bytes permanently reserved (TCM wrapper only)
   u64 calib_cycles = 0;  // fault-free single-core execution time (reset->halt)
   std::string name;
+  /// Static determinism verdict (empty when env.lint == LintMode::kOff).
+  analysis::Report lint;
 };
+
+/// The verifier configuration build_wrapped() uses for a given build —
+/// exposed so tools (stlint) lint exactly what the builder would enforce.
+analysis::AnalysisConfig lint_config(const SelfTestRoutine& r, WrapperKind w,
+                                     const BuildEnv& env);
 
 /// Emit the wrapped routine into `a` with the given expected signature.
 /// Returns the label of the entry point.

@@ -202,4 +202,24 @@ unsigned mem_size(Op op) {
   }
 }
 
+std::optional<u32> direct_target(const Instr& in, u32 pc) {
+  if (is_branch(in.op) || in.op == Op::kJal)
+    return pc + static_cast<u32>(in.imm);
+  return std::nullopt;
+}
+
+bool falls_through(const Instr& in) {
+  switch (in.op) {
+    case Op::kJal: case Op::kJalr: case Op::kHalt: case Op::kEret:
+      return false;
+    default:
+      return in.valid();
+  }
+}
+
+bool is_counter_csr(u16 csr) {
+  return csr >= static_cast<u16>(Csr::kCycle) &&
+         csr <= static_cast<u16>(Csr::kSplit);
+}
+
 }  // namespace detstl::isa

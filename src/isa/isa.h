@@ -20,6 +20,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <string_view>
 
 #include "common/bitutil.h"
@@ -169,5 +170,21 @@ bool reads_rs2(const Instr& in);
 
 /// Number of bytes accessed by a load/store op (1, 2, 4), 0 otherwise.
 unsigned mem_size(Op op);
+
+// --- static control-flow metadata (used by the analysis passes) --------------
+
+/// Statically-known control-transfer target of a branch or JAL at `pc`
+/// (both encode byte offsets relative to their own PC). Empty for every
+/// other op, including JALR whose target is register-indirect.
+std::optional<u32> direct_target(const Instr& in, u32 pc);
+
+/// True when execution can continue at pc+4 after this instruction:
+/// false for unconditional transfers (JAL/JALR), HALT and ERET; true for
+/// conditional branches (not-taken path) and everything else.
+bool falls_through(const Instr& in);
+
+/// True when `csr` is one of the free-running performance counters
+/// (kCycle..kSplit) whose values re-couple a signature to timing.
+bool is_counter_csr(u16 csr);
 
 }  // namespace detstl::isa

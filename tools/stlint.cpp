@@ -1,0 +1,233 @@
+// stlint — static determinism verifier for cache-wrapped self-test routines.
+//
+// Lints the bundled STL routines exactly as build_wrapped() would (same
+// wrapper emission, same analysis config), or runs the purpose-built
+// negative fixtures that demonstrate each rule class. Exit codes:
+//   0  no error-severity findings
+//   1  at least one error-severity finding
+//   2  usage error / unknown routine / build failure
+
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "analysis/fixtures.h"
+#include "core/routines.h"
+#include "core/stl.h"
+#include "core/wrapper.h"
+
+namespace {
+
+using namespace detstl;
+
+struct RoutineEntry {
+  const char* name;
+  std::function<std::unique_ptr<core::SelfTestRoutine>()> make;
+};
+
+std::vector<RoutineEntry> routine_registry() {
+  return {
+      {"alu", core::make_alu_test},
+      {"rf-march", core::make_rf_march_test},
+      {"shifter", core::make_shifter_test},
+      {"branch", core::make_branch_test},
+      {"muldiv", core::make_muldiv_test},
+      {"fwd", [] { return core::make_fwd_test(false); }},
+      {"fwd-pc", [] { return core::make_fwd_test(true); }},
+      {"icu", core::make_icu_test},
+  };
+}
+
+struct Options {
+  std::vector<std::string> routines;  // empty = all
+  core::WrapperKind wrapper = core::WrapperKind::kCacheBased;
+  int wa = 2;  // 0 = off, 1 = on, 2 = both
+  bool perf = false;
+  isa::CoreKind kind = isa::CoreKind::kA;
+  bool quiet = false;
+  bool verbose = false;
+  bool list = false;
+  bool fixtures_selfcheck = false;
+  std::string fixture;
+};
+
+void usage(std::ostream& os) {
+  os << "stlint — static determinism verifier for wrapped self-test routines\n"
+        "\n"
+        "usage:\n"
+        "  stlint [options]            lint bundled routines (default: all)\n"
+        "  stlint --list               list routines and fixtures\n"
+        "  stlint --fixture NAME       lint one negative fixture (demo)\n"
+        "  stlint --fixtures           self-check: every fixture must trip "
+        "its rule\n"
+        "\n"
+        "options:\n"
+        "  --routine NAME   lint only this routine (repeatable)\n"
+        "  --wrapper KIND   plain | cache | tcm            (default: cache)\n"
+        "  --wa MODE        write-allocate: on | off | both (default: both)\n"
+        "  --perf           fold performance counters into the signature\n"
+        "  --core K         core kind: A | B | C           (default: A)\n"
+        "  -q, --quiet      only print per-target verdicts\n"
+        "  -v, --verbose    print full reports even when clean\n";
+}
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--routine") {
+      const char* v = next();
+      if (!v) return false;
+      opt.routines.push_back(v);
+    } else if (a == "--wrapper") {
+      const char* v = next();
+      if (!v) return false;
+      if (!strcmp(v, "plain")) opt.wrapper = core::WrapperKind::kPlain;
+      else if (!strcmp(v, "cache")) opt.wrapper = core::WrapperKind::kCacheBased;
+      else if (!strcmp(v, "tcm")) opt.wrapper = core::WrapperKind::kTcmBased;
+      else return false;
+    } else if (a == "--wa") {
+      const char* v = next();
+      if (!v) return false;
+      if (!strcmp(v, "on")) opt.wa = 1;
+      else if (!strcmp(v, "off")) opt.wa = 0;
+      else if (!strcmp(v, "both")) opt.wa = 2;
+      else return false;
+    } else if (a == "--perf") {
+      opt.perf = true;
+    } else if (a == "--core") {
+      const char* v = next();
+      if (!v) return false;
+      if (!strcmp(v, "A")) opt.kind = isa::CoreKind::kA;
+      else if (!strcmp(v, "B")) opt.kind = isa::CoreKind::kB;
+      else if (!strcmp(v, "C")) opt.kind = isa::CoreKind::kC;
+      else return false;
+    } else if (a == "-q" || a == "--quiet") {
+      opt.quiet = true;
+    } else if (a == "-v" || a == "--verbose") {
+      opt.verbose = true;
+    } else if (a == "--list") {
+      opt.list = true;
+    } else if (a == "--fixtures") {
+      opt.fixtures_selfcheck = true;
+    } else if (a == "--fixture") {
+      const char* v = next();
+      if (!v) return false;
+      opt.fixture = v;
+    } else if (a == "-h" || a == "--help") {
+      usage(std::cout);
+      std::exit(0);
+    } else {
+      std::cerr << "stlint: unknown option '" << a << "'\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+int run_fixture(const Options& opt) {
+  const auto fixtures = analysis::negative_fixtures();
+  const analysis::Fixture* f = analysis::find_fixture(fixtures, opt.fixture);
+  if (!f) {
+    std::cerr << "stlint: unknown fixture '" << opt.fixture << "'\n";
+    return 2;
+  }
+  const analysis::Report rep = analysis::analyze(f->prog, f->cfg);
+  std::cout << "fixture " << f->name << ": " << f->description << "\n"
+            << rep.format();
+  return rep.clean() ? 0 : 1;
+}
+
+int run_fixtures_selfcheck() {
+  int bad = 0;
+  for (const auto& f : analysis::negative_fixtures()) {
+    const analysis::Report rep = analysis::analyze(f.prog, f.cfg);
+    const bool tripped =
+        rep.has(f.expect) &&
+        (f.expect_severity != analysis::Severity::kError || !rep.clean());
+    std::cout << (tripped ? "TRIPPED " : "MISSED  ") << f.name << " ["
+              << analysis::rule_id(f.expect) << "]\n";
+    if (!tripped) {
+      std::cout << rep.format();
+      ++bad;
+    }
+  }
+  std::cout << (bad ? "FAIL" : "OK") << ": fixture self-check\n";
+  return bad ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  if (!parse(argc, argv, opt)) {
+    usage(std::cerr);
+    return 2;
+  }
+  if (opt.list) {
+    std::cout << "routines:\n";
+    for (const auto& r : routine_registry()) std::cout << "  " << r.name << "\n";
+    std::cout << "fixtures:\n";
+    for (const auto& f : analysis::negative_fixtures())
+      std::cout << "  " << f.name << " — " << f.description << "\n";
+    return 0;
+  }
+  if (!opt.fixture.empty()) return run_fixture(opt);
+  if (opt.fixtures_selfcheck) return run_fixtures_selfcheck();
+
+  const auto registry = routine_registry();
+  std::vector<const RoutineEntry*> targets;
+  if (opt.routines.empty()) {
+    for (const auto& r : registry) targets.push_back(&r);
+  } else {
+    for (const auto& name : opt.routines) {
+      const RoutineEntry* found = nullptr;
+      for (const auto& r : registry)
+        if (name == r.name) found = &r;
+      if (!found) {
+        std::cerr << "stlint: unknown routine '" << name
+                  << "' (try --list)\n";
+        return 2;
+      }
+      targets.push_back(found);
+    }
+  }
+
+  std::vector<bool> wa_modes;
+  if (opt.wa == 2) wa_modes = {true, false};
+  else wa_modes = {opt.wa == 1};
+
+  unsigned errors = 0;
+  for (const RoutineEntry* t : targets) {
+    for (bool wa : wa_modes) {
+      const auto routine = t->make();
+      core::BuildEnv env;
+      env.kind = opt.kind;
+      env.write_allocate = wa;
+      env.use_perf_counters = opt.perf;
+      env.lint = core::LintMode::kReport;
+      core::BuiltTest bt;
+      try {
+        bt = core::build_wrapped(*routine, opt.wrapper, env);
+      } catch (const std::exception& e) {
+        std::cerr << "stlint: build failed for " << t->name << ": " << e.what()
+                  << "\n";
+        return 2;
+      }
+      const bool clean = bt.lint.clean();
+      errors += bt.lint.errors();
+      std::cout << (clean ? "PASS " : "FAIL ") << t->name << " ["
+                << core::wrapper_name(opt.wrapper) << ", "
+                << (wa ? "write-allocate" : "no-write-allocate") << "] "
+                << bt.lint.errors() << " error(s), " << bt.lint.warnings()
+                << " warning(s)\n";
+      if (!opt.quiet && (opt.verbose || !clean))
+        std::cout << bt.lint.format();
+    }
+  }
+  return errors ? 1 : 0;
+}
