@@ -8,14 +8,15 @@
 #include "bench_util.h"
 #include "exp/experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace detstl;
+  const auto opts = bench::parse_options(argc, argv);
   bench::print_header("Table I (multi-core STL execution: stalls)",
                       "1 core: 200,679 IF / 117,965 MEM; 2: 717,538 / 305,801; "
                       "3: 1,878,336 / 663,386");
 
   const unsigned samples = bench::env_unsigned("DETSTL_STAGGERS", 3);
-  const auto rows = exp::run_table1(samples);
+  const auto rows = exp::run_table1(samples, bench::exec_options(opts));
 
   TextTable t("Multi-core STL execution: stalls due to the memory subsystem");
   t.header({"# Active Cores", "IF Stalls [clock cycles]", "MEM Stalls [clock cycles]"});

@@ -4,23 +4,30 @@
 //     (active cores x flash position x alignment) -> min/max columns;
 //   * the proposed cache-based strategy: a single, stable, higher value.
 //
-// Environment knobs: DETSTL_FAULT_STRIDE (default 6: every 6th collapsed
-// fault; 1 = exhaustive), DETSTL_SCENARIOS (default 0 = full 12-scenario
-// grid).
+// Exhaustive by default (every collapsed fault), campaigns sharded over all
+// cores. Knobs: DETSTL_FAULT_STRIDE (default 1; N = every Nth fault),
+// DETSTL_SCENARIOS (default 0 = full 12-scenario grid), DETSTL_THREADS /
+// --threads N (0 = hardware concurrency, 1 = serial), --progress.
+
+#include <chrono>
 
 #include "bench_util.h"
 #include "exp/experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace detstl;
+  const auto opts = bench::parse_options(argc, argv);
   bench::print_header(
       "Table II (forwarding-logic fault simulation, no PCs)",
       "A: 53,298 faults, 64.14-75.19% no-cache, 79.61% cached; "
       "B: 57,506, 63.61-79.59%, 82.08%; C: 113,212, 56.24-66.48%, 68.79%");
 
-  const unsigned stride = bench::env_unsigned("DETSTL_FAULT_STRIDE", 6);
+  const unsigned stride = bench::env_unsigned("DETSTL_FAULT_STRIDE", 1);
   const unsigned scenarios = bench::env_unsigned("DETSTL_SCENARIOS", 0);
-  const auto rows = exp::run_table2(stride, scenarios);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto rows = exp::run_table2(stride, scenarios, bench::exec_options(opts));
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
   TextTable t("Forwarding-logic fault simulation results (stride " +
               std::to_string(stride) + ")");
@@ -32,6 +39,8 @@ int main() {
            TextTable::fmt_fixed(r.fc_cached, 2), r.cached_stable ? "yes" : "NO"});
   }
   t.print();
+  std::printf("\nwall-clock: %.1f s (threads=%u%s)\n", wall, opts.threads,
+              opts.threads == 0 ? " = all hardware threads" : "");
 
   bool shape_ok = true;
   for (const auto& r : rows) {

@@ -7,20 +7,27 @@
 //     single-core golden ("the test procedures inevitably failed in any
 //     configuration") — shown as the failure count across staggers.
 //
-// Environment knob: DETSTL_FAULT_STRIDE (default 2).
+// Exhaustive by default. Knobs: DETSTL_FAULT_STRIDE (default 1),
+// DETSTL_THREADS / --threads N (0 = hardware concurrency), --progress.
+
+#include <chrono>
 
 #include "bench_util.h"
 #include "exp/experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace detstl;
+  const auto opts = bench::parse_options(argc, argv);
   bench::print_header(
       "Table III (ICU and HDCU fault simulation)",
       "A: ICU 46.57->51.36%, HDCU 62.53->70.37%; B: ICU 46.39->50.97%, "
       "HDCU 63.84->70.12%; C: ICU 54.94->60.91%, HDCU 65.66->68.09%");
 
-  const unsigned stride = bench::env_unsigned("DETSTL_FAULT_STRIDE", 2);
-  const auto rows = exp::run_table3(stride);
+  const unsigned stride = bench::env_unsigned("DETSTL_FAULT_STRIDE", 1);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto rows = exp::run_table3(stride, bench::exec_options(opts));
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
   TextTable t("ICU and HDCU fault simulation results (stride " +
               std::to_string(stride) + ")");
@@ -35,6 +42,8 @@ int main() {
                std::to_string(r.stability_runs)});
   }
   t.print();
+  std::printf("\nwall-clock: %.1f s (threads=%u%s)\n", wall, opts.threads,
+              opts.threads == 0 ? " = all hardware threads" : "");
 
   bool shape_ok = true;
   double icu_ab_cached = 0, icu_c_cached = 0;

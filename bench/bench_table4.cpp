@@ -14,14 +14,15 @@
 #include "bench_util.h"
 #include "exp/experiments.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace detstl;
+  const auto opts = bench::parse_options(argc, argv);
   bench::print_header(
       "Table IV (TCM-based vs cache-based, imprecise-interrupt routine)",
       "TCM-based: 2,874 B overhead, 16,463 cycles; cache-based: 0 B, 18,043 "
       "cycles (8.25us @180MHz difference)");
 
-  const auto rows = exp::run_table4();
+  const auto rows = exp::run_table4(bench::exec_options(opts));
 
   TextTable t("TCM-based versus cache-based approaches");
   t.header({"Approach", "Overall Memory Overhead [bytes]",

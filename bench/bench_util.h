@@ -3,9 +3,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 #include "common/table.h"
+#include "exp/experiments.h"
 
 namespace detstl::bench {
 
@@ -14,6 +16,69 @@ inline unsigned env_unsigned(const char* name, unsigned def) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return def;
   return static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+}
+
+/// Command-line options shared by the table benches.
+struct BenchOptions {
+  bool progress = false;  // --progress: live campaign progress on stderr
+  unsigned threads = 0;   // --threads N / DETSTL_THREADS (0 = all cores)
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions o;
+  o.threads = env_unsigned("DETSTL_THREADS", 0);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--progress") == 0) {
+      o.progress = true;
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      o.threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else {
+      std::fprintf(stderr, "usage: %s [--progress] [--threads N]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+/// Renders campaign progress as a single in-place line on stderr:
+///   [detection] 1732/4632 | excited 1208 | detected 977 | 12.4s eta 21.0s | w: 49/51%
+inline void print_progress(const fault::CampaignProgress& p) {
+  std::string workers;
+  u64 sum = 0;
+  for (u64 d : p.worker_done) sum += d;
+  if (p.worker_done.size() > 1 && sum > 0) {
+    workers = " | w:";
+    const std::size_t shown = p.worker_done.size() < 8 ? p.worker_done.size() : 8;
+    for (std::size_t w = 0; w < shown; ++w) {
+      workers += w == 0 ? " " : "/";
+      workers += std::to_string(100 * p.worker_done[w] / sum) + "%";
+    }
+    if (shown < p.worker_done.size()) workers += "/...";
+  }
+  std::fprintf(stderr, "\r[%-9s] %llu/%llu | excited %llu | detected %llu | %.1fs",
+               fault::phase_name(p.phase),
+               static_cast<unsigned long long>(p.done),
+               static_cast<unsigned long long>(p.total),
+               static_cast<unsigned long long>(p.excited),
+               static_cast<unsigned long long>(p.detected), p.elapsed_s);
+  if (p.eta_s > 0) std::fprintf(stderr, " eta %.1fs", p.eta_s);
+  std::fprintf(stderr, "%s\033[K", workers.c_str());
+  if (p.total != 0 && p.done >= p.total) std::fputc('\n', stderr);
+  std::fflush(stderr);
+}
+
+/// ExecOptions for the table drivers: campaign threads from the options,
+/// progress + per-scenario narration when --progress was given.
+inline exp::ExecOptions exec_options(const BenchOptions& o) {
+  exp::ExecOptions e;
+  e.threads = o.threads;
+  if (o.progress) {
+    e.progress = print_progress;
+    e.log = [](const std::string& line) {
+      std::fprintf(stderr, "\r%s\033[K\n", line.c_str());
+    };
+  }
+  return e;
 }
 
 inline void print_header(const char* exhibit, const char* paper_numbers) {

@@ -4,9 +4,11 @@
 // netlist and the two-phase stuck-at engine. Prints the per-phase statistics
 // the larger Table II/III benches summarise.
 //
-//   $ ./examples/fault_grading
+//   $ ./examples/fault_grading                 # all hardware threads
+//   $ DETSTL_THREADS=1 ./examples/fault_grading  # serial (same result)
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/routines.h"
 #include "exp/experiments.h"
@@ -27,6 +29,8 @@ void grade(const char* title, core::WrapperKind w, unsigned active_cores) {
   cc.core_id = 0;
   cc.kind = isa::CoreKind::kA;
   cc.signature_from_marker = w == core::WrapperKind::kCacheBased;
+  if (const char* t = std::getenv("DETSTL_THREADS"))
+    cc.threads = static_cast<unsigned>(std::strtoul(t, nullptr, 10));
   fault::Campaign campaign(cc, exp::scenario_factory(std::move(tests), sc, 0));
   const auto res = campaign.run();
 

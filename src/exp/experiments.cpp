@@ -1,8 +1,9 @@
 #include "exp/experiments.h"
 
 #include <algorithm>
-#include <set>
 #include <cmath>
+#include <cstdio>
+#include <set>
 #include <stdexcept>
 
 #include "isa/disasm.h"
@@ -188,7 +189,7 @@ Fig1Result run_fig1() {
 // Table I
 // -----------------------------------------------------------------------------
 
-std::vector<Table1Row> run_table1(unsigned stagger_samples) {
+std::vector<Table1Row> run_table1(unsigned stagger_samples, const ExecOptions& opts) {
   std::vector<Table1Row> rows;
   const std::array<u32, 3> staggers[] = {{0, 0, 0}, {0, 5, 11}, {3, 9, 1}, {7, 2, 13}};
 
@@ -221,6 +222,11 @@ std::vector<Table1Row> run_table1(unsigned stagger_samples) {
       }
     }
     rows.push_back(Table1Row{cores, if_sum / samples, mem_sum / samples});
+    if (opts.log)
+      opts.log(std::to_string(cores) + " active core(s): IF stalls " +
+               std::to_string(static_cast<long long>(rows.back().if_stalls)) +
+               ", MEM stalls " +
+               std::to_string(static_cast<long long>(rows.back().mem_stalls)));
   }
   return rows;
 }
@@ -229,7 +235,33 @@ std::vector<Table1Row> run_table1(unsigned stagger_samples) {
 // Table II
 // -----------------------------------------------------------------------------
 
-std::vector<Table2Row> run_table2(u32 fault_stride, unsigned max_scenarios) {
+namespace {
+
+/// Shared campaign-configuration boilerplate of the table drivers.
+fault::CampaignConfig table_campaign_config(fault::Module module, unsigned graded,
+                                            u32 fault_stride, bool from_marker,
+                                            const ExecOptions& opts) {
+  fault::CampaignConfig cc;
+  cc.module = module;
+  cc.core_id = graded;
+  cc.kind = static_cast<CoreKind>(graded);
+  cc.fault_stride = fault_stride;
+  cc.signature_from_marker = from_marker;
+  cc.threads = opts.threads;
+  cc.progress = opts.progress;
+  return cc;
+}
+
+std::string fc_log_line(char core, const Scenario& sc, double fc) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", fc);
+  return std::string("core ") + core + " | " + sc.label + " | FC " + buf + "%";
+}
+
+}  // namespace
+
+std::vector<Table2Row> run_table2(u32 fault_stride, unsigned max_scenarios,
+                                  const ExecOptions& opts) {
   std::vector<Table2Row> rows;
   const auto routine = core::make_fwd_test(/*with_perf_counters=*/false);
   auto grid = nocache_scenario_grid();
@@ -245,16 +277,14 @@ std::vector<Table2Row> run_table2(u32 fault_stride, unsigned max_scenarios) {
     for (const Scenario& sc : grid) {
       auto tests = build_scenario_tests(*routine, WrapperKind::kPlain, sc, graded,
                                         /*use_pcs=*/false);
-      fault::CampaignConfig cc;
-      cc.module = fault::Module::kFwd;
-      cc.core_id = graded;
-      cc.kind = static_cast<CoreKind>(graded);
-      cc.fault_stride = fault_stride;
+      const auto cc = table_campaign_config(fault::Module::kFwd, graded,
+                                            fault_stride, false, opts);
       fault::Campaign campaign(cc, scenario_factory(std::move(tests), sc, graded));
       const auto res = campaign.run();
       row.faults = res.simulated_faults;
       row.fc_min = std::min(row.fc_min, res.coverage_percent());
       row.fc_max = std::max(row.fc_max, res.coverage_percent());
+      if (opts.log) opts.log(fc_log_line(row.core, sc, res.coverage_percent()));
     }
 
     // Cache-based strategy: stable FC, checked across two distinct scenarios.
@@ -263,16 +293,14 @@ std::vector<Table2Row> run_table2(u32 fault_stride, unsigned max_scenarios) {
          {Scenario{3, {0, 3, 7}, 0, 0, "cached/a"}, Scenario{3, {9, 1, 4}, kPosMid, 8, "cached/b"}}) {
       auto tests = build_scenario_tests(*routine, WrapperKind::kCacheBased, sc, graded,
                                         /*use_pcs=*/false);
-      fault::CampaignConfig cc;
-      cc.module = fault::Module::kFwd;
-      cc.core_id = graded;
-      cc.kind = static_cast<CoreKind>(graded);
-      cc.fault_stride = fault_stride;
-      cc.signature_from_marker = true;  // cache-based: loading loop unchecked
+      // Cache-based: the loading loop's signatures are unchecked.
+      const auto cc = table_campaign_config(fault::Module::kFwd, graded,
+                                            fault_stride, true, opts);
       fault::Campaign campaign(cc, scenario_factory(std::move(tests), sc, graded));
       const auto res = campaign.run();
       row.fc_cached = res.coverage_percent();
       cached_fcs.insert(std::lround(res.coverage_percent() * 1000));
+      if (opts.log) opts.log(fc_log_line(row.core, sc, res.coverage_percent()));
     }
     row.cached_stable = cached_fcs.size() == 1;
     rows.push_back(row);
@@ -288,17 +316,17 @@ namespace {
 
 double campaign_fc(const core::SelfTestRoutine& r, WrapperKind w, const Scenario& sc,
                    unsigned graded, bool use_pcs, fault::Module module,
-                   u32 fault_stride, u64& faults_out) {
+                   u32 fault_stride, u64& faults_out, const ExecOptions& opts) {
   auto tests = build_scenario_tests(r, w, sc, graded, use_pcs);
-  fault::CampaignConfig cc;
-  cc.module = module;
-  cc.core_id = graded;
-  cc.kind = static_cast<CoreKind>(graded);
-  cc.fault_stride = fault_stride;
-  cc.signature_from_marker = w == WrapperKind::kCacheBased;
+  const auto cc = table_campaign_config(module, graded, fault_stride,
+                                        w == WrapperKind::kCacheBased, opts);
   fault::Campaign campaign(cc, scenario_factory(std::move(tests), sc, graded));
   const auto res = campaign.run();
   faults_out = res.simulated_faults;
+  if (opts.log)
+    opts.log(fc_log_line(static_cast<char>('A' + graded), sc,
+                         res.coverage_percent()) +
+             " | " + fault::module_name(module));
   return res.coverage_percent();
 }
 
@@ -325,7 +353,7 @@ unsigned stability_failures(const core::SelfTestRoutine& r, unsigned graded,
 
 }  // namespace
 
-std::vector<Table3Row> run_table3(u32 fault_stride) {
+std::vector<Table3Row> run_table3(u32 fault_stride, const ExecOptions& opts) {
   std::vector<Table3Row> rows;
   const auto icu_routine = core::make_icu_test();
   const auto hdcu_routine = core::make_fwd_test(/*with_perf_counters=*/true);
@@ -347,9 +375,9 @@ std::vector<Table3Row> run_table3(u32 fault_stride) {
       // A/B-vs-C cause-masking effect under study).
       const u32 stride = is_icu ? 1 : fault_stride;
       row.fc_single_nocache = campaign_fc(r, WrapperKind::kPlain, single, graded,
-                                          use_pcs, module, stride, row.faults);
+                                          use_pcs, module, stride, row.faults, opts);
       row.fc_multi_cached = campaign_fc(r, WrapperKind::kCacheBased, multi, graded,
-                                        use_pcs, module, stride, row.faults);
+                                        use_pcs, module, stride, row.faults, opts);
       row.plain_multicore_failures =
           stability_failures(r, graded, use_pcs, row.stability_runs);
       rows.push_back(row);
@@ -362,7 +390,7 @@ std::vector<Table3Row> run_table3(u32 fault_stride) {
 // Table IV
 // -----------------------------------------------------------------------------
 
-std::vector<Table4Row> run_table4() {
+std::vector<Table4Row> run_table4(const ExecOptions& opts) {
   const auto routine = core::make_icu_test();
   std::vector<Table4Row> rows;
 
@@ -396,6 +424,10 @@ std::vector<Table4Row> run_table4() {
       } else {
         row.contended_cycles = s.core(0).perf().cycles;
       }
+      if (opts.log)
+        opts.log(row.approach + " | " + std::to_string(active) +
+                 " active core(s) | " +
+                 std::to_string(s.core(0).perf().cycles) + " cycles");
     }
     rows.push_back(row);
   }

@@ -47,6 +47,19 @@ std::vector<core::BuiltTest> build_scenario_tests(const core::SelfTestRoutine& r
 fault::SocFactory scenario_factory(std::vector<core::BuiltTest> tests,
                                    const Scenario& sc, unsigned graded);
 
+/// Execution knobs shared by every table driver. The defaults reproduce the
+/// exhibits silently on all available cores; the benches map `--progress`
+/// and DETSTL_THREADS onto this.
+struct ExecOptions {
+  /// Campaign worker threads (fault::CampaignConfig::threads): 0 = hardware
+  /// concurrency, 1 = serial. The table rows are identical for any value.
+  unsigned threads = 0;
+  /// Forwarded to every fault campaign (in-campaign progress/ETA).
+  fault::ProgressFn progress;
+  /// One line per completed scenario/configuration step ("narration").
+  std::function<void(const std::string&)> log;
+};
+
 // -----------------------------------------------------------------------------
 // Figure 1: forwarding path excited vs broken by fetch stalls
 // -----------------------------------------------------------------------------
@@ -70,7 +83,8 @@ struct Table1Row {
   double if_stalls = 0;   // summed over active cores, averaged over staggers
   double mem_stalls = 0;
 };
-std::vector<Table1Row> run_table1(unsigned stagger_samples = 3);
+std::vector<Table1Row> run_table1(unsigned stagger_samples = 3,
+                                  const ExecOptions& opts = {});
 
 // -----------------------------------------------------------------------------
 // Table II: forwarding-logic fault coverage, no-PC routine
@@ -84,7 +98,8 @@ struct Table2Row {
   double fc_cached = 0;    // cache-based strategy (stable single value)
   bool cached_stable = false;  // FC identical across re-checked scenarios
 };
-std::vector<Table2Row> run_table2(u32 fault_stride = 1, unsigned max_scenarios = 0);
+std::vector<Table2Row> run_table2(u32 fault_stride = 1, unsigned max_scenarios = 0,
+                                  const ExecOptions& opts = {});
 
 // -----------------------------------------------------------------------------
 // Table III: ICU and HDCU fault coverage + signature stability
@@ -99,7 +114,8 @@ struct Table3Row {
   unsigned plain_multicore_failures = 0;  // out of `stability_runs`
   unsigned stability_runs = 0;
 };
-std::vector<Table3Row> run_table3(u32 fault_stride = 1);
+std::vector<Table3Row> run_table3(u32 fault_stride = 1,
+                                  const ExecOptions& opts = {});
 
 // -----------------------------------------------------------------------------
 // Table IV: TCM-based vs cache-based strategy
@@ -112,6 +128,6 @@ struct Table4Row {
   double usec_at_180mhz = 0;
   u64 contended_cycles = 0;        // same, with all three cores active
 };
-std::vector<Table4Row> run_table4();
+std::vector<Table4Row> run_table4(const ExecOptions& opts = {});
 
 }  // namespace detstl::exp

@@ -2,7 +2,13 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <mutex>
 #include <stdexcept>
+#include <thread>
+
+#include "fault/work_queue.h"
+#include "netlist/screening.h"
 
 namespace detstl::fault {
 
@@ -114,6 +120,101 @@ struct Checkpoint {
   std::size_t r29_idx;
 };
 
+/// Aggregates worker progress and throttles callback invocations. All
+/// methods are no-ops when no callback is installed; otherwise every
+/// emission happens under one mutex, so the callback never sees torn state
+/// and never runs concurrently with itself.
+class ProgressTracker {
+ public:
+  ProgressTracker(const ProgressFn& fn, u32 every, unsigned workers)
+      : fn_(fn), every_(std::max<u32>(1, every)), worker_done_(workers, 0) {}
+
+  void begin_phase(CampaignPhase phase, u64 total) {
+    if (!fn_) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    phase_ = phase;
+    total_ = total;
+    done_ = excited_ = detected_ = since_emit_ = 0;
+    std::fill(worker_done_.begin(), worker_done_.end(), u64{0});
+    start_ = std::chrono::steady_clock::now();
+    emit_locked();
+  }
+
+  /// Record `units` finished work units from `worker`, plus the excited /
+  /// detected faults they contributed.
+  void add(unsigned worker, u64 units, u64 excited = 0, u64 detected = 0) {
+    if (!fn_) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    done_ += units;
+    excited_ += excited;
+    detected_ += detected;
+    worker_done_[worker] += units;
+    since_emit_ += units;
+    if (since_emit_ >= every_) {
+      since_emit_ = 0;
+      emit_locked();
+    }
+  }
+
+  void end_phase() {
+    if (!fn_) return;
+    std::lock_guard<std::mutex> lk(mu_);
+    emit_locked();
+  }
+
+ private:
+  void emit_locked() {
+    CampaignProgress p;
+    p.phase = phase_;
+    p.done = done_;
+    p.total = total_;
+    p.excited = excited_;
+    p.detected = detected_;
+    p.elapsed_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                                start_)
+                      .count();
+    if (done_ > 0 && total_ > done_)
+      p.eta_s = p.elapsed_s * static_cast<double>(total_ - done_) /
+                static_cast<double>(done_);
+    p.worker_done = worker_done_;
+    fn_(p);
+  }
+
+  ProgressFn fn_;
+  u32 every_;
+  std::mutex mu_;
+  CampaignPhase phase_ = CampaignPhase::kGoodRun;
+  u64 total_ = 0, done_ = 0, excited_ = 0, detected_ = 0, since_emit_ = 0;
+  std::vector<u64> worker_done_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Run `body(worker_id)` on `threads` workers and join. With one thread the
+/// body runs on the calling thread — exactly the serial path, no spawn. The
+/// first exception a worker throws is rethrown after the join.
+void run_pool(unsigned threads, const std::function<void(unsigned)>& body) {
+  if (threads <= 1) {
+    body(0);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  std::mutex err_mu;
+  std::exception_ptr err;
+  for (unsigned w = 0; w < threads; ++w) {
+    pool.emplace_back([&body, &err_mu, &err, w] {
+      try {
+        body(w);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!err) err = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  if (err) std::rethrow_exception(err);
+}
+
 }  // namespace
 
 Campaign::Campaign(const CampaignConfig& cfg, SocFactory factory)
@@ -121,7 +222,11 @@ Campaign::Campaign(const CampaignConfig& cfg, SocFactory factory)
 
 CampaignResult Campaign::run() {
   const u32 mailbox = cfg_.mailbox != 0 ? cfg_.mailbox : soc::mailbox_addr(cfg_.core_id);
+  const unsigned threads =
+      cfg_.threads != 0 ? cfg_.threads
+                        : std::max(1u, std::thread::hardware_concurrency());
   CampaignResult res;
+  ProgressTracker tracker(cfg_.progress, cfg_.progress_every, threads);
 
   // Module netlist for the graded core's physical-design instance.
   std::optional<netlist::FwdNetlist> fwd_mod;
@@ -148,6 +253,7 @@ CampaignResult Campaign::run() {
   }
 
   // --- Phase 0: good run with trace recording + checkpoints ---------------------
+  tracker.begin_phase(CampaignPhase::kGoodRun, 0);
   RecorderTap rec(cfg_.module);
   soc::Soc good = factory_();
   good.reset();
@@ -159,9 +265,12 @@ CampaignResult Campaign::run() {
     if (good.now() >= cfg_.max_cycles)
       throw std::runtime_error("fault campaign: good run exceeded max_cycles");
     good.tick();
-    if (good.now() % cfg_.checkpoint_every == 0)
+    if (good.now() % cfg_.checkpoint_every == 0) {
       cps.push_back(Checkpoint{good, rec.calls(), rec.r29().size()});
+      tracker.add(0, cfg_.checkpoint_every);
+    }
   }
+  tracker.end_phase();
   res.good_cycles = good.now();
   res.good_verdict = core::read_verdict(good, mailbox);
   if (res.good_verdict.status != soc::kStatusPass)
@@ -179,59 +288,69 @@ CampaignResult Campaign::run() {
     if ((i / 2) % cfg_.fault_stride == 0) faults.push_back(all_faults[i]);
   res.simulated_faults = faults.size();
 
-  // --- Phase 1: 64-lane excitation screening --------------------------------------
-  constexpr unsigned kLanes = 63;  // lane 63 = fault-free reference
+  // Encodes the c-th recorded module call into a screening state.
+  const auto encode_call = [&](std::size_t c, netlist::EvalState& st) {
+    switch (cfg_.module) {
+      case Module::kFwd: fwd_mod->encode(rec.fwd()[c], st); break;
+      case Module::kHdcu: hdcu_mod->encode(rec.hdcu()[c], st); break;
+      case Module::kIcu: icu_mod->encode(rec.icu()[c], st); break;
+    }
+  };
+
+  // --- Phase 1: 64-lane excitation screening, sharded by lane group ---------------
+  // Each lane group (<= 63 faults + the golden lane) replays the trace in
+  // its own EvalState and writes a disjoint slice of first_div, so workers
+  // share nothing but the immutable netlist, the trace, and the work queue.
+  using netlist::LaneGroupScreen;
+  const std::size_t ngroups = LaneGroupScreen::num_groups(faults.size());
   std::vector<std::size_t> first_div(faults.size(), SIZE_MAX);
 
-  for (std::size_t base = 0; base < faults.size(); base += kLanes) {
-    const unsigned n = static_cast<unsigned>(std::min<std::size_t>(kLanes, faults.size() - base));
-    netlist::EvalState st = nl->make_state();
-    for (unsigned j = 0; j < n; ++j)
-      netlist::Netlist::inject(st, faults[base + j], 1ull << j);
-    u64 alive = n == 64 ? ~0ull : ((1ull << n) - 1);
-
-    for (std::size_t c = 0; c < ncalls && alive != 0; ++c) {
-      switch (cfg_.module) {
-        case Module::kFwd: fwd_mod->encode(rec.fwd()[c], st); break;
-        case Module::kHdcu: hdcu_mod->encode(rec.hdcu()[c], st); break;
-        case Module::kIcu: icu_mod->encode(rec.icu()[c], st); break;
+  tracker.begin_phase(CampaignPhase::kScreening, ngroups);
+  WorkQueue group_queue(ngroups, 1);
+  run_pool(std::min<std::size_t>(threads, std::max<std::size_t>(1, ngroups)),
+           [&](unsigned w) {
+    while (const auto chunk = group_queue.next()) {
+      for (std::size_t g = chunk->begin; g < chunk->end; ++g) {
+        const std::size_t base = g * LaneGroupScreen::kLanesPerGroup;
+        const std::size_t n = std::min<std::size_t>(
+            LaneGroupScreen::kLanesPerGroup, faults.size() - base);
+        LaneGroupScreen screen(*nl, *outs, {faults.data() + base, n});
+        for (std::size_t c = 0; c < ncalls && !screen.done(); ++c) {
+          encode_call(c, screen.state());
+          screen.observe(c);
+          if (cfg_.module == Module::kIcu) screen.clock();
+        }
+        u64 excited_here = 0;
+        for (std::size_t j = 0; j < n; ++j) {
+          first_div[base + j] = screen.first_divergence()[j];
+          excited_here += screen.first_divergence()[j] != SIZE_MAX;
+        }
+        tracker.add(w, 1, excited_here);
       }
-      nl->eval(st);
-      u64 diff = 0;
-      for (netlist::NetId o : *outs) {
-        const u64 v = st.value[o];
-        const u64 ref = (v >> 63) & 1 ? ~0ull : 0ull;  // replicate lane 63
-        diff |= v ^ ref;
-      }
-      diff &= alive;
-      while (diff != 0) {
-        const unsigned lane = static_cast<unsigned>(__builtin_ctzll(diff));
-        diff &= diff - 1;
-        alive &= ~(1ull << lane);
-        first_div[base + lane] = c;
-      }
-      if (cfg_.module == Module::kIcu) nl->clock(st);
     }
-  }
+  });
+  tracker.end_phase();
 
-  // --- Phase 2: serial detection of excited faults --------------------------------
+  const u64 total_excited =
+      static_cast<u64>(std::count_if(first_div.begin(), first_div.end(),
+                                     [](std::size_t d) { return d != SIZE_MAX; }));
+
+  // --- Phase 2: detection of excited faults, sharded by fault index ---------------
   res.outcomes.assign(faults.size(), FaultOutcome::kNotExcited);
   const u64 watchdog = res.good_cycles * 2 + 10'000;
 
-  for (std::size_t i = 0; i < faults.size(); ++i) {
-    if (first_div[i] == SIZE_MAX) continue;
-    ++res.excited;
-
+  // Re-simulate fault i from its checkpoint; pure function of immutable
+  // campaign state, safe to call from any worker.
+  const auto detect_one = [&](std::size_t i) -> FaultOutcome {
     // Latest checkpoint at or before the first divergent module call.
-    const Checkpoint* cp = &cps.front();
-    for (const auto& c : cps) {
-      if (c.call_idx <= first_div[i]) cp = &c;
-      else break;
-    }
+    const auto it = std::upper_bound(
+        cps.begin(), cps.end(), first_div[i],
+        [](std::size_t call, const Checkpoint& c) { return call < c.call_idx; });
+    const Checkpoint& cp = *std::prev(it);  // cps[0].call_idx == 0 <= any call
 
-    soc::Soc s = cp->soc;
+    soc::Soc s = cp.soc;
     const std::size_t arm_at = cfg_.signature_from_marker ? rec.marker_idx() : 0;
-    CompareTap cmp(rec.r29(), cp->r29_idx, arm_at);
+    CompareTap cmp(rec.r29(), cp.r29_idx, arm_at);
     cpu::CpuHooks hooks;
     hooks.tap = &cmp;
     std::optional<netlist::NetlistForward> fw;
@@ -260,25 +379,51 @@ CampaignResult Campaign::run() {
     while (!s.core(cfg_.core_id).halted() && !cmp.detected() && s.now() < watchdog)
       s.tick();
 
-    FaultOutcome out;
-    if (cmp.detected()) {
-      out = FaultOutcome::kDetectedSignature;
-      ++res.detected_signature;
-    } else if (!s.core(cfg_.core_id).halted()) {
-      out = FaultOutcome::kDetectedWatchdog;
-      ++res.detected_watchdog;
-    } else {
-      const core::TestVerdict v = core::read_verdict(s, mailbox);
-      if (v.status != res.good_verdict.status || v.signature != res.good_verdict.signature) {
-        out = FaultOutcome::kDetectedVerdict;
-        ++res.detected_verdict;
-      } else {
-        out = FaultOutcome::kUndetected;
+    if (cmp.detected()) return FaultOutcome::kDetectedSignature;
+    if (!s.core(cfg_.core_id).halted()) return FaultOutcome::kDetectedWatchdog;
+    const core::TestVerdict v = core::read_verdict(s, mailbox);
+    if (v.status != res.good_verdict.status || v.signature != res.good_verdict.signature)
+      return FaultOutcome::kDetectedVerdict;
+    return FaultOutcome::kUndetected;
+  };
+
+  tracker.begin_phase(CampaignPhase::kDetection, faults.size());
+  // Small chunks: per-fault cost is wildly uneven (a watchdog fault costs
+  // 2x the good run; a non-excited one is a single branch), and the queue's
+  // fetch_add is nanoseconds against milliseconds of simulation.
+  WorkQueue fault_queue(faults.size(), 4);
+  run_pool(std::min<std::size_t>(threads, std::max<std::size_t>(1, faults.size())),
+           [&](unsigned w) {
+    while (const auto chunk = fault_queue.next()) {
+      u64 excited_here = 0, detected_here = 0;
+      for (std::size_t i = chunk->begin; i < chunk->end; ++i) {
+        if (first_div[i] == SIZE_MAX) continue;
+        const FaultOutcome out = detect_one(i);
+        // Workers write disjoint elements; counters are recomputed from the
+        // outcomes vector after the join so the result is order-independent.
+        res.outcomes[i] = out;
+        ++excited_here;
+        detected_here += out != FaultOutcome::kUndetected;
       }
+      tracker.add(w, chunk->size(), excited_here, detected_here);
     }
-    if (out != FaultOutcome::kUndetected) ++res.detected;
-    res.outcomes[i] = out;
+  });
+  tracker.end_phase();
+
+  // --- Deterministic merge: every aggregate derives from outcomes ----------------
+  res.excited = total_excited;
+  for (const FaultOutcome out : res.outcomes) {
+    switch (out) {
+      case FaultOutcome::kNotExcited:
+      case FaultOutcome::kUndetected:
+        break;
+      case FaultOutcome::kDetectedSignature: ++res.detected_signature; break;
+      case FaultOutcome::kDetectedVerdict: ++res.detected_verdict; break;
+      case FaultOutcome::kDetectedWatchdog: ++res.detected_watchdog; break;
+    }
   }
+  res.detected =
+      res.detected_signature + res.detected_verdict + res.detected_watchdog;
   return res;
 }
 

@@ -1,6 +1,6 @@
 #pragma once
 // Stuck-at fault-simulation campaign over one graded module of one core
-// (DESIGN.md Sec. 6):
+// (DESIGN.md Sec. 6, docs/fault_simulation.md):
 //
 //  1. Good run. The scenario executes with behavioural models; a tap records
 //     the graded module's per-call input trace, the signature-register (r29)
@@ -16,12 +16,19 @@
 //     the module implementation. Early exit on the first r29 write that
 //     differs from the good sequence; otherwise the final mailbox verdict is
 //     compared; a watchdog timeout counts as detected (in-field behaviour).
+//
+// Phases 2 and 3 are embarrassingly parallel (lane groups / faults are
+// independent) and run on a worker pool when CampaignConfig::threads != 1.
+// The result is bit-identical for every thread count: workers write outcomes
+// into a pre-sized vector by fault index and all aggregate counters are
+// recomputed from that vector after the pool joins.
 
 #include <functional>
 #include <optional>
 #include <vector>
 
 #include "core/wrapper.h"
+#include "fault/progress.h"
 #include "netlist/adapters.h"
 #include "soc/soc.h"
 
@@ -46,6 +53,15 @@ struct CampaignConfig {
   /// count as detections. The iteration boundary is identified by the loop
   /// counter (r30) reaching 1.
   bool signature_from_marker = false;
+  /// Worker threads for the screening and detection phases. 0 = hardware
+  /// concurrency, 1 = fully serial (no threads are spawned). Any value
+  /// yields the same CampaignResult, byte for byte.
+  unsigned threads = 0;
+  /// Optional observability callback (never affects the result). Invoked
+  /// under an internal mutex at phase boundaries and roughly every
+  /// `progress_every` completed work units.
+  ProgressFn progress;
+  u32 progress_every = 64;
 };
 
 /// The scenario under grade: builds a fresh SoC with all programs loaded and
@@ -72,12 +88,23 @@ struct CampaignResult {
   core::TestVerdict good_verdict;
   std::vector<FaultOutcome> outcomes;  // per simulated fault
 
-  /// Fault coverage over the sampled fault population, in percent.
+  /// Fault coverage over the sampled fault population, in percent. With
+  /// fault_stride > 1 this is an *estimate* of the exhaustive coverage.
   double coverage_percent() const {
     return simulated_faults == 0
                ? 0.0
                : 100.0 * static_cast<double>(detected) /
                      static_cast<double>(simulated_faults);
+  }
+
+  /// Detected faults over the *full* collapsed list, in percent. Equal to
+  /// coverage_percent() for exhaustive campaigns; with sampling it is only
+  /// a lower bound (unsampled faults count as undetected), so sampled and
+  /// exhaustive runs are never conflated.
+  double coverage_percent_of_total() const {
+    return total_faults == 0 ? 0.0
+                             : 100.0 * static_cast<double>(detected) /
+                                   static_cast<double>(total_faults);
   }
 };
 

@@ -1,0 +1,50 @@
+#pragma once
+// Campaign observability: a snapshot type the campaign pushes to an optional
+// callback while it runs. Purely informational — installing (or not
+// installing) a callback never changes the CampaignResult, and the callback
+// is always invoked under an internal mutex, so it may write to a terminal
+// without interleaving even when the campaign runs multi-threaded.
+
+#include <functional>
+#include <vector>
+
+#include "common/bitutil.h"
+
+namespace detstl::fault {
+
+enum class CampaignPhase : u8 {
+  kGoodRun,    // fault-free run with trace recording + checkpoints
+  kScreening,  // 64-lane excitation screening over lane groups
+  kDetection,  // per-fault checkpoint replay
+};
+
+inline const char* phase_name(CampaignPhase p) {
+  switch (p) {
+    case CampaignPhase::kGoodRun: return "good-run";
+    case CampaignPhase::kScreening: return "screening";
+    case CampaignPhase::kDetection: return "detection";
+  }
+  return "?";
+}
+
+struct CampaignProgress {
+  CampaignPhase phase = CampaignPhase::kGoodRun;
+  /// Work units finished / total in this phase. Units are cycles for the
+  /// good run (total 0 = unknown), lane groups for screening, faults for
+  /// detection.
+  u64 done = 0;
+  u64 total = 0;
+  u64 excited = 0;   // faults excited so far (known from screening onward)
+  u64 detected = 0;  // faults detected so far (detection phase)
+  double elapsed_s = 0;  // wall-clock since the phase started
+  /// Linear-extrapolation estimate of the phase's remaining wall-clock;
+  /// 0 while done == 0.
+  double eta_s = 0;
+  /// Work units completed per worker (size = worker count). A worker's
+  /// share of the sum is its utilisation of the pool.
+  std::vector<u64> worker_done;
+};
+
+using ProgressFn = std::function<void(const CampaignProgress&)>;
+
+}  // namespace detstl::fault

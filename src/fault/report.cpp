@@ -76,7 +76,11 @@ std::string render_report(const CampaignReport& rep, const std::string& title) {
   summary.row({"  via signature divergence", TextTable::fmt_int(static_cast<long long>(r.detected_signature))});
   summary.row({"  via final verdict", TextTable::fmt_int(static_cast<long long>(r.detected_verdict))});
   summary.row({"  via watchdog", TextTable::fmt_int(static_cast<long long>(r.detected_watchdog))});
-  summary.row({"fault coverage [%]", TextTable::fmt_fixed(r.coverage_percent(), 2)});
+  summary.row({"fault coverage, sampled population [%]",
+               TextTable::fmt_fixed(r.coverage_percent(), 2)});
+  summary.row({"fault coverage, full collapsed list [%]",
+               TextTable::fmt_fixed(r.coverage_percent_of_total(), 2) +
+                   (r.simulated_faults == r.total_faults ? "" : " (lower bound)")});
   summary.row({"fault-free run [cycles]", TextTable::fmt_int(static_cast<long long>(r.good_cycles))});
 
   TextTable dict(title + " — coverage by gate class");

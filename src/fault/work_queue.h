@@ -1,0 +1,47 @@
+#pragma once
+// Chunked atomic work queue for the parallel campaign executor.
+//
+// A WorkQueue hands out half-open index chunks [begin, end) of a fixed range
+// to concurrently-pulling workers. The only synchronisation is one
+// fetch_add on the cursor: every index is dispensed exactly once, and once
+// the range is exhausted every caller gets nullopt. Relaxed ordering is
+// sufficient — the queue carries no payload, only index ownership, and the
+// results workers produce are published by the thread join.
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <optional>
+
+namespace detstl::fault {
+
+class WorkQueue {
+ public:
+  struct Chunk {
+    std::size_t begin = 0;
+    std::size_t end = 0;  // exclusive
+    std::size_t size() const { return end - begin; }
+  };
+
+  /// Queue over indices [0, total), dispensed `chunk_size` at a time (the
+  /// final chunk may be shorter). A zero chunk size is promoted to 1.
+  explicit WorkQueue(std::size_t total, std::size_t chunk_size = 1)
+      : total_(total), chunk_(std::max<std::size_t>(1, chunk_size)) {}
+
+  /// Claim the next chunk; nullopt once the range is exhausted.
+  std::optional<Chunk> next() {
+    const std::size_t b = cursor_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (b >= total_) return std::nullopt;
+    return Chunk{b, std::min(b + chunk_, total_)};
+  }
+
+  std::size_t total() const { return total_; }
+  std::size_t chunk_size() const { return chunk_; }
+
+ private:
+  std::size_t total_;
+  std::size_t chunk_;
+  std::atomic<std::size_t> cursor_{0};
+};
+
+}  // namespace detstl::fault

@@ -1,0 +1,38 @@
+#include "netlist/screening.h"
+
+#include <cassert>
+
+namespace detstl::netlist {
+
+LaneGroupScreen::LaneGroupScreen(const Netlist& nl, std::span<const NetId> outputs,
+                                 std::span<const Fault> faults)
+    : nl_(&nl),
+      outputs_(outputs),
+      state_(nl.make_state()),
+      first_div_(faults.size(), SIZE_MAX) {
+  assert(faults.size() <= kLanesPerGroup);
+  const unsigned n = static_cast<unsigned>(faults.size());
+  for (unsigned j = 0; j < n; ++j)
+    Netlist::inject(state_, faults[j], 1ull << j);
+  alive_ = n == 0 ? 0 : (1ull << n) - 1;
+}
+
+void LaneGroupScreen::observe(std::size_t call_idx) {
+  if (alive_ == 0) return;
+  nl_->eval(state_);
+  u64 diff = 0;
+  for (NetId o : outputs_) {
+    const u64 v = state_.value[o];
+    const u64 ref = (v >> kLanesPerGroup) & 1 ? ~0ull : 0ull;  // replicate lane 63
+    diff |= v ^ ref;
+  }
+  diff &= alive_;
+  while (diff != 0) {
+    const unsigned lane = static_cast<unsigned>(__builtin_ctzll(diff));
+    diff &= diff - 1;
+    alive_ &= ~(1ull << lane);
+    first_div_[lane] = call_idx;
+  }
+}
+
+}  // namespace detstl::netlist
