@@ -11,12 +11,13 @@
 int main(int argc, char** argv) {
   using namespace detstl;
   const auto opts = bench::parse_options(argc, argv);
+  const auto tracer = bench::make_trace_writer(opts);
   bench::print_header("Table I (multi-core STL execution: stalls)",
                       "1 core: 200,679 IF / 117,965 MEM; 2: 717,538 / 305,801; "
                       "3: 1,878,336 / 663,386");
 
   const unsigned samples = bench::env_unsigned("DETSTL_STAGGERS", 3);
-  const auto rows = exp::run_table1(samples, bench::exec_options(opts));
+  const auto rows = exp::run_table1(samples, bench::exec_options(opts, tracer.get()));
 
   TextTable t("Multi-core STL execution: stalls due to the memory subsystem");
   t.header({"# Active Cores", "IF Stalls [clock cycles]", "MEM Stalls [clock cycles]"});
@@ -36,5 +37,6 @@ int main(int argc, char** argv) {
                         rows[2].if_stalls > 4.0 * rows[0].if_stalls;
   std::printf("\nshape check (super-linear IF-stall growth, IF >> MEM): %s\n",
               shape_ok ? "OK" : "MISMATCH");
+  bench::finish_trace(opts, tracer);
   return shape_ok ? 0 : 1;
 }

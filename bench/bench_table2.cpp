@@ -17,6 +17,7 @@
 int main(int argc, char** argv) {
   using namespace detstl;
   const auto opts = bench::parse_options(argc, argv);
+  const auto tracer = bench::make_trace_writer(opts);
   bench::print_header(
       "Table II (forwarding-logic fault simulation, no PCs)",
       "A: 53,298 faults, 64.14-75.19% no-cache, 79.61% cached; "
@@ -25,7 +26,7 @@ int main(int argc, char** argv) {
   const unsigned stride = bench::env_unsigned("DETSTL_FAULT_STRIDE", 1);
   const unsigned scenarios = bench::env_unsigned("DETSTL_SCENARIOS", 0);
   const auto t0 = std::chrono::steady_clock::now();
-  const auto rows = exp::run_table2(stride, scenarios, bench::exec_options(opts));
+  const auto rows = exp::run_table2(stride, scenarios, bench::exec_options(opts, tracer.get()));
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
@@ -53,5 +54,6 @@ int main(int argc, char** argv) {
               rows[2].fc_cached < rows[1].fc_cached;
   std::printf("\nshape check (oscillation, cached max+stable, core C lower): %s\n",
               shape_ok ? "OK" : "MISMATCH");
+  bench::finish_trace(opts, tracer);
   return shape_ok ? 0 : 1;
 }

@@ -18,6 +18,7 @@
 int main(int argc, char** argv) {
   using namespace detstl;
   const auto opts = bench::parse_options(argc, argv);
+  const auto tracer = bench::make_trace_writer(opts);
   bench::print_header(
       "Table III (ICU and HDCU fault simulation)",
       "A: ICU 46.57->51.36%, HDCU 62.53->70.37%; B: ICU 46.39->50.97%, "
@@ -25,7 +26,7 @@ int main(int argc, char** argv) {
 
   const unsigned stride = bench::env_unsigned("DETSTL_FAULT_STRIDE", 1);
   const auto t0 = std::chrono::steady_clock::now();
-  const auto rows = exp::run_table3(stride, bench::exec_options(opts));
+  const auto rows = exp::run_table3(stride, bench::exec_options(opts, tracer.get()));
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
@@ -63,5 +64,6 @@ int main(int argc, char** argv) {
   std::printf("\nshape check (cached >= single, plain multi-core always fails, "
               "core C ICU >= A/B): %s\n",
               shape_ok ? "OK" : "MISMATCH");
+  bench::finish_trace(opts, tracer);
   return shape_ok ? 0 : 1;
 }

@@ -17,12 +17,13 @@
 int main(int argc, char** argv) {
   using namespace detstl;
   const auto opts = bench::parse_options(argc, argv);
+  const auto tracer = bench::make_trace_writer(opts);
   bench::print_header(
       "Table IV (TCM-based vs cache-based, imprecise-interrupt routine)",
       "TCM-based: 2,874 B overhead, 16,463 cycles; cache-based: 0 B, 18,043 "
       "cycles (8.25us @180MHz difference)");
 
-  const auto rows = exp::run_table4(bench::exec_options(opts));
+  const auto rows = exp::run_table4(bench::exec_options(opts, tracer.get()));
 
   TextTable t("TCM-based versus cache-based approaches");
   t.header({"Approach", "Overall Memory Overhead [bytes]",
@@ -40,5 +41,6 @@ int main(int argc, char** argv) {
                         rows[1].memory_overhead_bytes == 0;
   std::printf("\nshape check (TCM reserves memory, cache-based reserves none): %s\n",
               shape_ok ? "OK" : "MISMATCH");
+  bench::finish_trace(opts, tracer);
   return shape_ok ? 0 : 1;
 }

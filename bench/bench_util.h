@@ -4,10 +4,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "common/table.h"
 #include "exp/experiments.h"
+#include "trace/chrome_trace.h"
 
 namespace detstl::bench {
 
@@ -20,8 +22,9 @@ inline unsigned env_unsigned(const char* name, unsigned def) {
 
 /// Command-line options shared by the table benches.
 struct BenchOptions {
-  bool progress = false;  // --progress: live campaign progress on stderr
-  unsigned threads = 0;   // --threads N / DETSTL_THREADS (0 = all cores)
+  bool progress = false;    // --progress: live campaign progress on stderr
+  unsigned threads = 0;     // --threads N / DETSTL_THREADS (0 = all cores)
+  std::string trace_path;   // --trace FILE: Chrome-trace JSON of the run
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -32,12 +35,35 @@ inline BenchOptions parse_options(int argc, char** argv) {
       o.progress = true;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       o.threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      o.trace_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--progress] [--threads N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--progress] [--threads N] [--trace FILE]\n",
+                   argv[0]);
       std::exit(2);
     }
   }
   return o;
+}
+
+/// A Chrome-trace writer when --trace was given, else null (tracing off).
+inline std::unique_ptr<trace::ChromeTraceWriter> make_trace_writer(
+    const BenchOptions& o) {
+  if (o.trace_path.empty()) return nullptr;
+  return std::make_unique<trace::ChromeTraceWriter>();
+}
+
+/// Flush the collected events to the --trace file (no-op without writer).
+inline void finish_trace(const BenchOptions& o,
+                         const std::unique_ptr<trace::ChromeTraceWriter>& w) {
+  if (w == nullptr) return;
+  if (!w->write_file(o.trace_path)) {
+    std::fprintf(stderr, "error: cannot write trace file %s\n",
+                 o.trace_path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(stderr, "trace written to %s (%zu events)\n", o.trace_path.c_str(),
+               w->size());
 }
 
 /// Renders campaign progress as a single in-place line on stderr:
@@ -68,10 +94,13 @@ inline void print_progress(const fault::CampaignProgress& p) {
 }
 
 /// ExecOptions for the table drivers: campaign threads from the options,
-/// progress + per-scenario narration when --progress was given.
-inline exp::ExecOptions exec_options(const BenchOptions& o) {
+/// progress + per-scenario narration when --progress was given, events into
+/// `sink` when --trace was given.
+inline exp::ExecOptions exec_options(const BenchOptions& o,
+                                     trace::EventSink* sink = nullptr) {
   exp::ExecOptions e;
   e.threads = o.threads;
+  e.sink = sink;
   if (o.progress) {
     e.progress = print_progress;
     e.log = [](const std::string& line) {

@@ -3,15 +3,31 @@
 // show that every core reports a PASS with the expected (golden) signature —
 // the determinism that plain multi-core execution cannot deliver.
 //
-//   $ ./examples/quickstart
+//   $ ./examples/quickstart [--trace FILE]
+//
+// With --trace, every bus/cache/phase event of the run is captured and
+// written as Chrome-trace JSON (load it in Perfetto; docs/observability.md).
 
 #include <cstdio>
+#include <cstring>
 
 #include "core/routines.h"
 #include "core/stl.h"
+#include "trace/chrome_trace.h"
+#include "trace/metrics.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace detstl;
+
+  const char* trace_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace FILE]\n", argv[0]);
+      return 2;
+    }
+  }
 
   // 1. A self-test routine targeting the hazard detection unit (the
   //    algorithm of [19], with performance counters in the signature).
@@ -44,6 +60,8 @@ int main() {
     soc.load_program(t.prog);
     soc.set_boot(t.env.core_id, t.prog.entry());
   }
+  trace::ChromeTraceWriter writer;
+  if (trace_path != nullptr) soc.set_trace_sink(&writer);
   soc.reset();
   const auto res = soc.run(10'000'000);
   if (res.timed_out) {
@@ -64,5 +82,13 @@ int main() {
   std::printf("%s\n", all_pass
                           ? "deterministic multi-core self-test: all cores PASS"
                           : "unexpected failure");
+
+  if (trace_path != nullptr) {
+    if (!writer.write_file(trace_path)) {
+      std::fprintf(stderr, "error: cannot write trace file %s\n", trace_path);
+      return 1;
+    }
+    std::printf("trace written to %s (%zu events)\n", trace_path, writer.size());
+  }
   return all_pass ? 0 : 1;
 }

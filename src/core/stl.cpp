@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/routines.h"
+
 namespace detstl::core {
 
 using namespace isa;
@@ -93,6 +95,26 @@ std::vector<TestVerdict> read_suite_verdicts(const soc::Soc& soc,
   for (unsigned i = 0; i < suite.goldens.size(); ++i)
     v.push_back(read_verdict(soc, suite.results_base + 8 * i));
   return v;
+}
+
+const std::vector<RoutineEntry>& routine_registry() {
+  static const std::vector<RoutineEntry> kRoutines = {
+      {"alu", [] { return make_alu_test(); }},
+      {"rf-march", [] { return make_rf_march_test(); }},
+      {"shifter", [] { return make_shifter_test(); }},
+      {"branch", [] { return make_branch_test(); }},
+      {"muldiv", [] { return make_muldiv_test(); }},
+      {"fwd", [] { return make_fwd_test(false); }},
+      {"fwd-pc", [] { return make_fwd_test(true); }},
+      {"icu", [] { return make_icu_test(); }},
+  };
+  return kRoutines;
+}
+
+const RoutineEntry* find_routine(const std::string& name) {
+  for (const auto& e : routine_registry())
+    if (name == e.name) return &e;
+  return nullptr;
 }
 
 }  // namespace detstl::core

@@ -55,4 +55,17 @@ inline u32 default_data_base(unsigned core_id) {
   return mem::kSramBase + 0x8000 + core_id * 0x1000;
 }
 
+/// Catalogue of the built-in self-test routines (core/routines.h), shared by
+/// the tools (stlint, detscope) so routine names stay consistent.
+struct RoutineEntry {
+  const char* name;
+  std::unique_ptr<SelfTestRoutine> (*make)();
+};
+
+/// All built-in routines, in a stable order.
+const std::vector<RoutineEntry>& routine_registry();
+
+/// Lookup by name; nullptr when unknown.
+const RoutineEntry* find_routine(const std::string& name);
+
 }  // namespace detstl::core

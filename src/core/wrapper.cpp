@@ -151,10 +151,30 @@ void emit_cache_based(Assembler& a, const SelfTestRoutine& r, const BuildEnv& en
   // Fig. 2b blocks c/d: the body executed twice. Iteration 1 is the loading
   // loop (signature discarded by re-seeding), iteration 2 the execution loop.
   a.addi(R30, R0, static_cast<i32>(env.cache_loop_iterations));
+  // Enter the loop through a taken jump: the redirect discards the fetch
+  // queue, so the line holding the loop entry — prefetched before the
+  // invalidate committed — is re-fetched through the (now empty) I-cache
+  // during the loading pass. Falling through instead leaves that line
+  // stale-but-executed, and its refill fires inside the execution loop:
+  // the one bus access the paper's invariant forbids (caught by
+  // trace::audit_determinism).
+  a.jal(R0, p + "_loop");
   a.label(p + "_loop");
   emit_iteration_prologue(a, r, env);
   r.emit_body(a, routine_env(r, env), p + "_b");
   emit_iteration_epilogue(a, r, env);
+  // Pin the decrement + loop branch to the start of their own cache line
+  // (the alignment NOPs are loop-body tail, warm in both passes). This
+  // leaves 24 warm bytes after the branch, which covers the front end's
+  // fetch-ahead at both loop boundaries: at the end of the loading pass the
+  // wrong-path packets past the taken branch all hit (an unaligned branch
+  // near its line end lets them miss, and the discarded refill then blocks
+  // the execution loop's first fetch for a contention-dependent drain —
+  // memsys ifetch_cancel semantics); at the final fall-through the fetch
+  // stream reaches the check epilogue's first cold line only after the
+  // counter write's EX-time phase marker, so the miss is attributed to the
+  // signature check, not the execution loop.
+  a.align(32);  // mem::MemSystemConfig I-cache line size
   a.addi(R30, R30, -1);
   a.bne(R30, R0, p + "_loop");
 

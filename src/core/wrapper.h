@@ -32,6 +32,15 @@ enum class WrapperKind : u8 { kPlain, kCacheBased, kTcmBased };
 
 const char* wrapper_name(WrapperKind k);
 
+/// Register conventions every wrapper obeys (emit_wrapped). They double as
+/// the phase-marker contract observers rely on: the fault campaign's recorder
+/// tap derives the signature-at-marker from writes to these registers, and
+/// trace::PhaseTracker recognises the cache-based wrapper's loading loop /
+/// execution loop / signature check from the committed r30 values
+/// (iterations .. 2 = loading, 1 = execution, 0 = check).
+inline constexpr unsigned kSignatureReg = 29;    // running MISR signature
+inline constexpr unsigned kLoopCounterReg = 30;  // cache-wrapper loop counter
+
 /// What build_wrapped() does with the static determinism verifier
 /// (analysis/analyzer.h): skip it, attach its report to the BuiltTest
 /// (default), or additionally throw AnalysisError on any error-severity

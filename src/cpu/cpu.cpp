@@ -33,6 +33,7 @@ void Cpu::reset(u32 boot_pc) {
   icu_events_ = icu_clear_ = 0;
   icu_ack_ = false;
   icu_out_ = IcuOut{};
+  phase_.reset();
 }
 
 // -----------------------------------------------------------------------------
@@ -241,6 +242,23 @@ void Cpu::stage_ex(bool mem_advanced, const SlotInstr (&snap_exmem)[2],
                          ? fout.operand[2 * s + 1]
                          : static_cast<u64>(static_cast<u32>(slot.in.imm));
     execute_slot(slot, op_a, op_b);
+    // r30 is the cache-based wrapper's loop counter (core/wrapper.h); its
+    // transitions delimit the loading/execution/check phases. The marker is
+    // emitted at EX — where the value is computed and this in-order,
+    // trap-draining pipeline can no longer squash the instruction — because
+    // EX runs before the fetch stage within a cycle: a WB-time marker lags
+    // the front end by two cycles and misattributes the fetch of the check
+    // epilogue's first cold line to the execution loop. The CSR-driven
+    // transitions below (csr_write) fire at EX for the same reason.
+    if (slot.writes && !slot.is_load && slot.in.rd == 30 && sink_ != nullptr &&
+        phase_.observe_loop_counter(static_cast<u32>(slot.result))) {
+      DETSTL_TRACE(sink_,
+                   trace::Event{.cycle = perf_.cycles,
+                                .kind = trace::EventKind::kPhaseBegin,
+                                .core = static_cast<u8>(cfg_.core_id),
+                                .unit = static_cast<u8>(phase_.current()),
+                                .addr = slot.pc});
+    }
     if (trace_.enabled()) trace_.on_stage(slot.trace_id, Stage::kEx, perf_.cycles);
   }
 
@@ -410,6 +428,10 @@ void Cpu::stage_issue() {
 
   if (icu_out_.irq && (mstatus_ & isa::kMstatusIe)) {
     drain_for_irq_ = true;
+    DETSTL_TRACE(sink_, trace::Event{.cycle = perf_.cycles,
+                                     .kind = trace::EventKind::kIrqWindow,
+                                     .core = static_cast<u8>(cfg_.core_id),
+                                     .a = icu_out_.cause});
     return;
   }
 
@@ -463,6 +485,11 @@ void Cpu::stage_issue() {
 void Cpu::take_trap() {
   mepc_ = next_issue_pc_;
   mcause_ = icu_out_.cause;
+  DETSTL_TRACE(sink_, trace::Event{.cycle = perf_.cycles,
+                                   .kind = trace::EventKind::kIrqTaken,
+                                   .core = static_cast<u8>(cfg_.core_id),
+                                   .addr = mepc_,
+                                   .a = mcause_});
   mstatus_ &= ~isa::kMstatusIe;
   icu_ack_ = true;
   drain_for_irq_ = false;
@@ -582,8 +609,28 @@ void Cpu::csr_write(Csr c, u32 v, SlotInstr& slot) {
     case Csr::kMswi:
       slot.events |= 1u << static_cast<unsigned>(isa::IcuSource::kSoftware);
       break;
-    case Csr::kCacheOp: memsys_.cache_op(v); break;
-    case Csr::kCacheCfg: memsys_.set_cache_cfg(v); break;
+    case Csr::kCacheOp:
+      memsys_.cache_op(v);
+      if (sink_ != nullptr && phase_.observe_cache_op(v)) {
+        DETSTL_TRACE(sink_,
+                     trace::Event{.cycle = perf_.cycles,
+                                  .kind = trace::EventKind::kPhaseBegin,
+                                  .core = static_cast<u8>(cfg_.core_id),
+                                  .unit = static_cast<u8>(phase_.current()),
+                                  .addr = slot.pc});
+      }
+      break;
+    case Csr::kCacheCfg:
+      memsys_.set_cache_cfg(v);
+      if (sink_ != nullptr && phase_.observe_cache_cfg(v)) {
+        DETSTL_TRACE(sink_,
+                     trace::Event{.cycle = perf_.cycles,
+                                  .kind = trace::EventKind::kPhaseBegin,
+                                  .core = static_cast<u8>(cfg_.core_id),
+                                  .unit = static_cast<u8>(phase_.current()),
+                                  .addr = slot.pc});
+      }
+      break;
     default: break;  // counters are read-only
   }
 }

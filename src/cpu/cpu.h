@@ -80,6 +80,15 @@ class Cpu {
   CpuHooks& hooks() { return hooks_; }
   TraceRecorder& trace() { return trace_; }
 
+  /// Install the detscope event sink into this core and its memory system
+  /// (non-owning; null = tracing off). Carried by value copies like the hook
+  /// pointers — re-install or clear after checkpoint restore (trace/event.h).
+  void set_trace_sink(trace::EventSink* sink) {
+    sink_ = sink;
+    memsys_.set_trace_sink(sink);
+  }
+  trace::EventSink* trace_sink() const { return sink_; }
+
   /// Behavioural ICU state (for checkpoint restore into netlist models).
   const IcuState& icu_state() const { return icu_; }
 
@@ -171,6 +180,11 @@ class Cpu {
   u8 icu_clear_ = 0;   // CSR kMip write strobes this cycle
   bool icu_ack_ = false;
   IcuOut icu_out_;     // latched output visible to IS/CSRs next cycle
+
+  // detscope: non-owning event sink + wrapper-phase recognition (value state;
+  // the tracker travels with checkpoints, the sink is re-installed/cleared).
+  trace::EventSink* sink_ = nullptr;
+  trace::PhaseTracker phase_;
 };
 
 }  // namespace detstl::cpu

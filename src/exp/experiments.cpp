@@ -249,6 +249,7 @@ fault::CampaignConfig table_campaign_config(fault::Module module, unsigned grade
   cc.signature_from_marker = from_marker;
   cc.threads = opts.threads;
   cc.progress = opts.progress;
+  cc.sink = opts.sink;
   return cc;
 }
 

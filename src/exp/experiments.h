@@ -58,6 +58,9 @@ struct ExecOptions {
   fault::ProgressFn progress;
   /// One line per completed scenario/configuration step ("narration").
   std::function<void(const std::string&)> log;
+  /// detscope event sink forwarded to every fault campaign (the benches wire
+  /// `--trace FILE` onto this; null = tracing off).
+  trace::EventSink* sink = nullptr;
 };
 
 // -----------------------------------------------------------------------------

@@ -38,10 +38,11 @@ class RecorderTap final : public cpu::ModuleTap {
     if (which_ == Module::kIcu) icu_.push_back(in);
   }
   void on_wb(u64, unsigned rd, u32 v) override {
-    if (rd == 29) r29_.push_back(v);
+    if (rd == core::kSignatureReg) r29_.push_back(v);
     // Execution-loop marker: the wrapper's loop counter reaching 1 ends the
     // loading loop (see CampaignConfig::signature_from_marker).
-    if (rd == 30 && v == 1 && marker_idx_ == SIZE_MAX) marker_idx_ = r29_.size();
+    if (rd == core::kLoopCounterReg && v == 1 && marker_idx_ == SIZE_MAX)
+      marker_idx_ = r29_.size();
   }
 
   std::size_t calls() const {
@@ -91,13 +92,13 @@ class CompareTap final : public cpu::ModuleTap {
     if (!armed_) {
       // Waiting for the execution-loop marker; the good-trace index realigns
       // to the execution loop's start regardless of loading-loop drift.
-      if (rd == 30 && v == 1) {
+      if (rd == core::kLoopCounterReg && v == 1) {
         idx_ = arm_at_;
         armed_ = true;
       }
       return;
     }
-    if (rd != 29) return;
+    if (rd != core::kSignatureReg) return;
     const bool match = idx_ < good_->size() && (*good_)[idx_] == v;
     ++idx_;
     diverged_run_ = match ? 0 : diverged_run_ + 1;
@@ -226,7 +227,24 @@ CampaignResult Campaign::run() {
       cfg_.threads != 0 ? cfg_.threads
                         : std::max(1u, std::thread::hardware_concurrency());
   CampaignResult res;
+  res.threads_used = threads;
+  const auto wall_start = std::chrono::steady_clock::now();
   ProgressTracker tracker(cfg_.progress, cfg_.progress_every, threads);
+
+  // Campaign events use an emission sequence number as their clock: all
+  // emissions happen on the serial control path (phase boundaries + the
+  // post-join per-fault sweep), so the stream is identical for any thread
+  // count. kCampaignFault carries the fault index instead (event.h).
+  [[maybe_unused]] u64 seq = 0;
+  const auto emit_phase = [&]([[maybe_unused]] trace::EventKind kind,
+                              [[maybe_unused]] CampaignPhase phase,
+                              [[maybe_unused]] u32 a, [[maybe_unused]] u32 b) {
+    DETSTL_TRACE(cfg_.sink, trace::Event{.cycle = seq++,
+                                         .kind = kind,
+                                         .unit = static_cast<u8>(phase),
+                                         .a = a,
+                                         .b = b});
+  };
 
   // Module netlist for the graded core's physical-design instance.
   std::optional<netlist::FwdNetlist> fwd_mod;
@@ -254,8 +272,12 @@ CampaignResult Campaign::run() {
 
   // --- Phase 0: good run with trace recording + checkpoints ---------------------
   tracker.begin_phase(CampaignPhase::kGoodRun, 0);
+  emit_phase(trace::EventKind::kCampaignPhaseBegin, CampaignPhase::kGoodRun, 0, 0);
   RecorderTap rec(cfg_.module);
   soc::Soc good = factory_();
+  // The good run traces live (it is serial); checkpoints copy the sink
+  // pointer, so detect_one clears it on every restored replica.
+  good.set_trace_sink(cfg_.sink);
   good.reset();
   good.core(cfg_.core_id).hooks().tap = &rec;
 
@@ -271,6 +293,7 @@ CampaignResult Campaign::run() {
     }
   }
   tracker.end_phase();
+  emit_phase(trace::EventKind::kCampaignPhaseEnd, CampaignPhase::kGoodRun, 0, 0);
   res.good_cycles = good.now();
   res.good_verdict = core::read_verdict(good, mailbox);
   if (res.good_verdict.status != soc::kStatusPass)
@@ -306,6 +329,8 @@ CampaignResult Campaign::run() {
   std::vector<std::size_t> first_div(faults.size(), SIZE_MAX);
 
   tracker.begin_phase(CampaignPhase::kScreening, ngroups);
+  emit_phase(trace::EventKind::kCampaignPhaseBegin, CampaignPhase::kScreening,
+             static_cast<u32>(ngroups), static_cast<u32>(ngroups >> 32));
   WorkQueue group_queue(ngroups, 1);
   run_pool(std::min<std::size_t>(threads, std::max<std::size_t>(1, ngroups)),
            [&](unsigned w) {
@@ -334,6 +359,8 @@ CampaignResult Campaign::run() {
   const u64 total_excited =
       static_cast<u64>(std::count_if(first_div.begin(), first_div.end(),
                                      [](std::size_t d) { return d != SIZE_MAX; }));
+  emit_phase(trace::EventKind::kCampaignPhaseEnd, CampaignPhase::kScreening,
+             static_cast<u32>(total_excited), 0);
 
   // --- Phase 2: detection of excited faults, sharded by fault index ---------------
   res.outcomes.assign(faults.size(), FaultOutcome::kNotExcited);
@@ -349,6 +376,9 @@ CampaignResult Campaign::run() {
     const Checkpoint& cp = *std::prev(it);  // cps[0].call_idx == 0 <= any call
 
     soc::Soc s = cp.soc;
+    // The checkpoint copy carries the good run's sink; faulty replicas run on
+    // worker threads and must never emit (trace/event.h checkpoint contract).
+    s.set_trace_sink(nullptr);
     const std::size_t arm_at = cfg_.signature_from_marker ? rec.marker_idx() : 0;
     CompareTap cmp(rec.r29(), cp.r29_idx, arm_at);
     cpu::CpuHooks hooks;
@@ -388,6 +418,9 @@ CampaignResult Campaign::run() {
   };
 
   tracker.begin_phase(CampaignPhase::kDetection, faults.size());
+  emit_phase(trace::EventKind::kCampaignPhaseBegin, CampaignPhase::kDetection,
+             static_cast<u32>(faults.size()),
+             static_cast<u32>(static_cast<u64>(faults.size()) >> 32));
   // Small chunks: per-fault cost is wildly uneven (a watchdog fault costs
   // 2x the good run; a non-excited one is a single branch), and the queue's
   // fetch_add is nanoseconds against milliseconds of simulation.
@@ -424,6 +457,29 @@ CampaignResult Campaign::run() {
   }
   res.detected =
       res.detected_signature + res.detected_verdict + res.detected_watchdog;
+  emit_phase(trace::EventKind::kCampaignPhaseEnd, CampaignPhase::kDetection,
+             static_cast<u32>(res.excited), static_cast<u32>(res.detected));
+
+  // Per-fault events, post-join in fault-index order: identical for every
+  // thread count because they derive only from the merged outcomes vector.
+  if (cfg_.sink != nullptr) {
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      DETSTL_TRACE(cfg_.sink,
+                   trace::Event{.cycle = i,
+                                .kind = trace::EventKind::kCampaignFault,
+                                .unit = static_cast<u8>(res.outcomes[i]),
+                                .flags = static_cast<u8>(faults[i].stuck1 ? 1 : 0),
+                                .addr = static_cast<u32>(faults[i].net)});
+    }
+  }
+  DETSTL_TRACE(cfg_.sink,
+               trace::Event{.cycle = seq++,
+                            .kind = trace::EventKind::kCampaignDone,
+                            .a = static_cast<u32>(res.detected),
+                            .b = static_cast<u32>(res.simulated_faults)});
+  res.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+          .count();
   return res;
 }
 

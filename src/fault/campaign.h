@@ -62,6 +62,12 @@ struct CampaignConfig {
   /// `progress_every` completed work units.
   ProgressFn progress;
   u32 progress_every = 64;
+  /// detscope event sink (non-owning; null = off). The good run traces live;
+  /// faulty replicas never emit (the campaign clears the sink on every
+  /// restored checkpoint copy), and per-fault events are emitted after the
+  /// worker pool joins, in fault-index order with a sequence-number clock —
+  /// so the stream is byte-identical for every `threads` value.
+  trace::EventSink* sink = nullptr;
 };
 
 /// The scenario under grade: builds a fresh SoC with all programs loaded and
@@ -87,6 +93,8 @@ struct CampaignResult {
   u64 good_cycles = 0;      // graded core cycles, reset -> halt
   core::TestVerdict good_verdict;
   std::vector<FaultOutcome> outcomes;  // per simulated fault
+  double wall_seconds = 0;  // host wall-clock of the whole campaign
+  unsigned threads_used = 0;  // resolved worker count (cfg.threads == 0 case)
 
   /// Fault coverage over the sampled fault population, in percent. With
   /// fault_stride > 1 this is an *estimate* of the exhaustive coverage.

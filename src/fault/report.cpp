@@ -82,6 +82,8 @@ std::string render_report(const CampaignReport& rep, const std::string& title) {
                TextTable::fmt_fixed(r.coverage_percent_of_total(), 2) +
                    (r.simulated_faults == r.total_faults ? "" : " (lower bound)")});
   summary.row({"fault-free run [cycles]", TextTable::fmt_int(static_cast<long long>(r.good_cycles))});
+  summary.row({"wall-clock [s]", TextTable::fmt_fixed(r.wall_seconds, 2)});
+  summary.row({"worker threads", TextTable::fmt_int(static_cast<long long>(r.threads_used))});
 
   TextTable dict(title + " — coverage by gate class");
   dict.header({"gate class", "faults", "detected", "FC [%]"});

@@ -11,14 +11,39 @@ void SharedBus::submit(unsigned id, const BusReq& req) {
   assert(is_bus(req.addr));
   slots_[id].state = SlotState::kWaiting;
   slots_[id].req = req;
+  // Requests arrive while the current cycle is being evaluated (the cores
+  // run before the bus tick), so they are stamped with the cycle the bus
+  // will arbitrate next: a same-cycle grant has wait == 0.
+  slots_[id].submit_cycle = now_ + 1;
+  ++stats_[id].submits;
+  DETSTL_TRACE(sink_, trace::Event{.cycle = now_ + 1,
+                                   .kind = trace::EventKind::kBusSubmit,
+                                   .core = static_cast<u8>(id / 3),
+                                   .unit = static_cast<u8>(id),
+                                   .flags = static_cast<u8>((req.write ? 1 : 0) |
+                                                            (req.amo_add ? 2 : 0)),
+                                   .addr = req.addr,
+                                   .a = req.bytes});
 }
 
 void SharedBus::perform(Slot& slot, Flash& flash, Sram& sram) {
   const BusReq& req = slot.req;
   const u32 base = req.addr;
+  const auto beat = [&]([[maybe_unused]] u32 i, [[maybe_unused]] u32 data) {
+    DETSTL_TRACE(sink_, trace::Event{.cycle = now_,
+                                     .kind = trace::EventKind::kBusBeat,
+                                     .core = static_cast<u8>(grant_id_ / 3),
+                                     .unit = static_cast<u8>(grant_id_),
+                                     .addr = base + 4 * i,
+                                     .a = i,
+                                     .b = data});
+  };
   if (is_flash(base)) {
     assert(!req.write && !req.amo_add && "flash is read-only at run time");
-    for (u32 i = 0; i < (req.bytes + 3) / 4; ++i) slot.rdata[i] = flash.read32(base + 4 * i);
+    for (u32 i = 0; i < (req.bytes + 3) / 4; ++i) {
+      slot.rdata[i] = flash.read32(base + 4 * i);
+      beat(i, slot.rdata[i]);
+    }
     return;
   }
   assert(is_sram(base));
@@ -26,6 +51,7 @@ void SharedBus::perform(Slot& slot, Flash& flash, Sram& sram) {
     const u32 old = sram.read32(base);
     sram.write32(base, old + req.wdata[0]);
     slot.rdata[0] = old;
+    beat(0, old);
     return;
   }
   if (req.write) {
@@ -33,15 +59,23 @@ void SharedBus::perform(Slot& slot, Flash& flash, Sram& sram) {
     if (req.bytes < 4) {
       for (u32 i = 0; i < req.bytes; ++i)
         sram.write8(base + i, static_cast<u8>(req.wdata[0] >> (8 * i)));
+      beat(0, req.wdata[0]);
     } else {
-      for (u32 i = 0; i < req.bytes / 4; ++i) sram.write32(base + 4 * i, req.wdata[i]);
+      for (u32 i = 0; i < req.bytes / 4; ++i) {
+        sram.write32(base + 4 * i, req.wdata[i]);
+        beat(i, req.wdata[i]);
+      }
     }
     return;
   }
-  for (u32 i = 0; i < (req.bytes + 3) / 4; ++i) slot.rdata[i] = sram.read32(base + 4 * i);
+  for (u32 i = 0; i < (req.bytes + 3) / 4; ++i) {
+    slot.rdata[i] = sram.read32(base + 4 * i);
+    beat(i, slot.rdata[i]);
+  }
 }
 
 void SharedBus::tick(Flash& flash, Sram& sram) {
+  ++now_;
   if (grant_valid_) {
     if (cycles_left_ > 0) --cycles_left_;
     if (cycles_left_ == 0) {
@@ -76,6 +110,17 @@ void SharedBus::tick(Flash& flash, Sram& sram) {
     // The grant tick itself is the arbitration/address phase; the device
     // access occupies the following `device_cycles` ticks.
     cycles_left_ = device_cycles;
+    const u64 wait = now_ - slot.submit_cycle;
+    ++stats_[id].grants;
+    stats_[id].wait_cycles += wait;
+    stats_[id].occupancy_cycles += 1 + device_cycles;
+    DETSTL_TRACE(sink_, trace::Event{.cycle = now_,
+                                     .kind = trace::EventKind::kBusGrant,
+                                     .core = static_cast<u8>(id / 3),
+                                     .unit = static_cast<u8>(id),
+                                     .addr = slot.req.addr,
+                                     .a = static_cast<u32>(wait),
+                                     .b = 1 + device_cycles});
     break;
   }
 }

@@ -5,7 +5,9 @@
 // routines non-deterministic (paper Sec. II, Table I).
 //
 // The bus owns no device pointers (the SoC passes Flash/Sram into tick()) so
-// that a SoC checkpoint is a plain value copy.
+// that a SoC checkpoint is a plain value copy. The trace sink is a non-owning
+// pointer with the same checkpoint contract as the CPU hook pointers
+// (trace/event.h): copies carry it verbatim, restorers re-install or clear.
 
 #include <array>
 #include <cstdint>
@@ -13,6 +15,7 @@
 #include "common/bitutil.h"
 #include "mem/flash.h"
 #include "mem/sram.h"
+#include "trace/event.h"
 
 namespace detstl::mem {
 
@@ -30,6 +33,16 @@ struct BusReq {
   std::array<u32, 8> wdata{};
 };
 
+/// Per-requester arbitration counters (diagnostics / contention evidence).
+/// wait_cycles sums submit->grant latencies; occupancy_cycles sums the ticks
+/// each granted transaction held the bus (arbitration tick + device access).
+struct BusStats {
+  u64 submits = 0;
+  u64 grants = 0;
+  u64 wait_cycles = 0;
+  u64 occupancy_cycles = 0;
+};
+
 /// One requester slot: submit -> (arbitration, device access) -> complete ->
 /// retire. A requester may have at most one outstanding request.
 class SharedBus {
@@ -39,7 +52,13 @@ class SharedBus {
   bool complete(unsigned id) const { return slots_[id].state == SlotState::kComplete; }
   /// Read data of a completed request, one 32-bit beat at a time.
   u32 rdata(unsigned id, unsigned beat) const { return slots_[id].rdata[beat]; }
-  void retire(unsigned id) { slots_[id].state = SlotState::kIdle; }
+  void retire(unsigned id) {
+    DETSTL_TRACE(sink_, trace::Event{.cycle = now_,
+                                     .kind = trace::EventKind::kBusRetire,
+                                     .core = static_cast<u8>(id / 3),
+                                     .unit = static_cast<u8>(id)});
+    slots_[id].state = SlotState::kIdle;
+  }
 
   /// Advance one cycle: continue the in-flight transaction or grant a new one.
   void tick(Flash& flash, Sram& sram);
@@ -48,6 +67,13 @@ class SharedBus {
   u64 transactions() const { return transactions_; }
   /// True if any transaction is in flight (diagnostics / determinism checks).
   bool busy() const { return grant_valid_; }
+  /// Bus cycles elapsed (ticks 1:1 with SoC ticks once the SoC runs).
+  u64 now() const { return now_; }
+
+  const BusStats& stats(unsigned id) const { return stats_[id]; }
+
+  void set_trace_sink(trace::EventSink* sink) { sink_ = sink; }
+  trace::EventSink* trace_sink() const { return sink_; }
 
  private:
   enum class SlotState : u8 { kIdle, kWaiting, kInService, kComplete };
@@ -56,6 +82,7 @@ class SharedBus {
     SlotState state = SlotState::kIdle;
     BusReq req;
     std::array<u32, 8> rdata{};
+    u64 submit_cycle = 0;
   };
 
   void perform(Slot& slot, Flash& flash, Sram& sram);
@@ -66,6 +93,9 @@ class SharedBus {
   u32 cycles_left_ = 0;
   unsigned rr_next_ = 0;  // round-robin scan start
   u64 transactions_ = 0;
+  u64 now_ = 0;
+  std::array<BusStats, kMaxBusRequesters> stats_{};
+  trace::EventSink* sink_ = nullptr;  // non-owning; see header comment
 };
 
 }  // namespace detstl::mem

@@ -126,4 +126,14 @@ u32 Cache::valid_lines() const {
   return n;
 }
 
+int Cache::way_of(u32 addr) const {
+  const u32 set = set_index(addr);
+  const u32 tag = tag_of(addr);
+  for (u32 w = 0; w < cfg_.ways; ++w) {
+    const Line& l = lines_[set * cfg_.ways + w];
+    if (l.valid && l.tag == tag) return static_cast<int>(w);
+  }
+  return -1;
+}
+
 }  // namespace detstl::mem

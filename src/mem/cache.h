@@ -71,6 +71,13 @@ class Cache {
   /// Number of valid lines (diagnostics).
   u32 valid_lines() const;
 
+  /// Set index `addr` maps to (diagnostics / tracing).
+  u32 set_of(u32 addr) const { return set_index(addr); }
+
+  /// Resident way of `addr`'s line, or -1 (diagnostics / tracing; no LRU
+  /// side effects).
+  int way_of(u32 addr) const;
+
  private:
   struct Line {
     bool valid = false;

@@ -16,9 +16,49 @@ MemSystem::MemSystem(unsigned core_id, const MemSystemConfig& cfg)
       itcm_(kItcmBase, cfg.itcm_size),
       dtcm_(kDtcmBase, cfg.dtcm_size) {}
 
+// Request-path emissions are stamped now_ + 1 (the cycle being evaluated:
+// the CPU issues requests before this MemSystem's tick increments now_),
+// completion-path emissions with now_; both equal the SoC tick index.
+void MemSystem::emit_cache([[maybe_unused]] trace::EventKind kind,
+                           [[maybe_unused]] unsigned unit,
+                           [[maybe_unused]] u32 addr, [[maybe_unused]] u32 a,
+                           [[maybe_unused]] u32 b,
+                           [[maybe_unused]] bool request_path) const {
+  DETSTL_TRACE(sink_, trace::Event{.cycle = request_path ? now_ + 1 : now_,
+                                   .kind = kind,
+                                   .core = static_cast<u8>(core_id_),
+                                   .unit = static_cast<u8>(unit),
+                                   .addr = addr,
+                                   .a = a,
+                                   .b = b});
+}
+
+// emit_cache sits on the hit paths, which run once per fetch packet / data
+// access; its arguments (set/way lookups) must not be evaluated when tracing
+// is off, so every call goes through this guard — same laziness contract as
+// DETSTL_TRACE itself.
+#ifdef DETSTL_TRACE_DISABLED
+#define EMIT_CACHE(...) \
+  do {                  \
+  } while (0)
+#else
+#define EMIT_CACHE(...)                        \
+  do {                                         \
+    if (sink_ != nullptr) emit_cache(__VA_ARGS__); \
+  } while (0)
+#endif
+
 void MemSystem::cache_op(u32 op_bits) {
-  if (op_bits & isa::kCacheOpInvI) icache_.invalidate_all();
-  if (op_bits & isa::kCacheOpInvD) dcache_.invalidate_all();
+  if (op_bits & isa::kCacheOpInvI) {
+    EMIT_CACHE(trace::EventKind::kCacheInvalidate, 0, 0, icache_.valid_lines(),
+               0, true);
+    icache_.invalidate_all();
+  }
+  if (op_bits & isa::kCacheOpInvD) {
+    EMIT_CACHE(trace::EventKind::kCacheInvalidate, 1, 0, dcache_.valid_lines(),
+               0, true);
+    dcache_.invalidate_all();
+  }
 }
 
 void MemSystem::set_cache_cfg(u32 cfg_bits) { cache_cfg_ = cfg_bits & 0x7; }
@@ -73,11 +113,15 @@ void MemSystem::ifetch_request(u32 addr, SharedBus& bus) {
 
   if (icache_enabled()) {
     if (icache_.lookup(addr)) {
+      EMIT_CACHE(trace::EventKind::kCacheHit, 0, addr, icache_.set_of(addr),
+                 static_cast<u32>(icache_.way_of(addr)), true);
       slot.data = static_cast<u64>(icache_.read(addr, 4)) |
                   (static_cast<u64>(icache_.read(addr + 4, 4)) << 32);
       slot.state = IState::kDone;
       return;
     }
+    EMIT_CACHE(trace::EventKind::kCacheMiss, 0, addr, icache_.set_of(addr), 0,
+               true);
     // Line refill. The I-cache is read-only: victims are never dirty.
     bus.submit(iport_id(idx), BusReq{.addr = align_down(addr, icache_.config().line_bytes),
                                      .bytes = icache_.config().line_bytes});
@@ -144,6 +188,9 @@ void MemSystem::data_request(const DataOp& op, SharedBus& bus) {
       const u32 line = align_down(op.addr, dcache_.config().line_bytes);
       std::vector<u32> beats;
       dcache_.read_line(op.addr, beats);
+      EMIT_CACHE(trace::EventKind::kCacheWriteback, 1, line,
+                 dcache_.set_of(line),
+                 static_cast<u32>(dcache_.way_of(line)), true);
       bus.submit(dport_id(), BusReq{.addr = line,
                                     .bytes = dcache_.config().line_bytes,
                                     .write = true,
@@ -168,10 +215,14 @@ void MemSystem::data_request(const DataOp& op, SharedBus& bus) {
   }
 
   if (dcache_.lookup(op.addr)) {
+    EMIT_CACHE(trace::EventKind::kCacheHit, 1, op.addr, dcache_.set_of(op.addr),
+               static_cast<u32>(dcache_.way_of(op.addr)), true);
     dcache_apply();
     dstate_ = DState::kDone;
     return;
   }
+  EMIT_CACHE(trace::EventKind::kCacheMiss, 1, op.addr, dcache_.set_of(op.addr),
+             op.write ? 1u : 0u, true);
 
   // Miss. Store miss with no-write-allocate: write around the cache.
   if (op.write && !write_allocate()) {
@@ -186,6 +237,8 @@ void MemSystem::data_request(const DataOp& op, SharedBus& bus) {
   u32 wb_addr = 0;
   std::vector<u32> beats;
   if (dcache_.victim_dirty(op.addr, wb_addr, beats)) {
+    EMIT_CACHE(trace::EventKind::kCacheWriteback, 1, wb_addr,
+               dcache_.set_of(wb_addr), dcache_.victim_way(op.addr), true);
     bus.submit(dport_id(), BusReq{.addr = wb_addr,
                                   .bytes = dcache_.config().line_bytes,
                                   .write = true,
@@ -217,6 +270,7 @@ void MemSystem::dcache_apply() {
 // ----------------------------------------------------------------------------
 
 void MemSystem::tick(SharedBus& bus) {
+  ++now_;
   // Instruction port completions (either slot; CPU consumes in order).
   for (unsigned idx = 0; idx < 2; ++idx) {
     IFetchSlot& slot = islot_[idx];
@@ -226,7 +280,10 @@ void MemSystem::tick(SharedBus& bus) {
     if (slot.state == IState::kRefill) {
       std::vector<u32> beats(icache_.config().line_bytes / 4);
       for (u32 i = 0; i < beats.size(); ++i) beats[i] = bus.rdata(id, i);
-      icache_.fill(align_down(slot.addr, icache_.config().line_bytes), beats);
+      const u32 line = align_down(slot.addr, icache_.config().line_bytes);
+      icache_.fill(line, beats);
+      EMIT_CACHE(trace::EventKind::kCacheRefill, 0, line, icache_.set_of(line),
+                 static_cast<u32>(icache_.way_of(line)), false);
       slot.data = static_cast<u64>(icache_.read(slot.addr, 4)) |
                   (static_cast<u64>(icache_.read(slot.addr + 4, 4)) << 32);
     } else {
@@ -264,7 +321,10 @@ void MemSystem::tick(SharedBus& bus) {
     case DState::kRefill: {
       std::vector<u32> beats(dcache_.config().line_bytes / 4);
       for (u32 i = 0; i < beats.size(); ++i) beats[i] = bus.rdata(dport_id(), i);
-      dcache_.fill(align_down(dop_.addr, dcache_.config().line_bytes), beats);
+      const u32 line = align_down(dop_.addr, dcache_.config().line_bytes);
+      dcache_.fill(line, beats);
+      EMIT_CACHE(trace::EventKind::kCacheRefill, 1, line, dcache_.set_of(line),
+                 static_cast<u32>(dcache_.way_of(line)), false);
       bus.retire(dport_id());
       dcache_apply();
       dstate_ = DState::kDone;

@@ -89,6 +89,11 @@ class MemSystem {
   /// Advance the port state machines; call once per cycle after the bus tick.
   void tick(SharedBus& bus);
 
+  /// Trace sink (non-owning, checkpoint contract of trace/event.h). The CPU
+  /// installs it via Cpu::set_trace_sink; null = tracing off.
+  void set_trace_sink(trace::EventSink* sink) { sink_ = sink; }
+  trace::EventSink* trace_sink() const { return sink_; }
+
   /// Debug (zero-time) memory access used by loaders and test harnesses.
   /// Routes to TCM or SRAM/flash image without timing or cache effects.
   /// Note: with the D$ enabled, dirty lines may hold newer data than SRAM;
@@ -106,6 +111,8 @@ class MemSystem {
   bool ibus_inflight() const;
   bool idraining() const;
   unsigned iactive_count() const;
+  void emit_cache(trace::EventKind kind, unsigned unit, u32 addr, u32 a, u32 b,
+                  bool request_path) const;
 
   unsigned core_id_;
   Cache icache_;
@@ -129,6 +136,10 @@ class MemSystem {
   DState dstate_ = DState::kIdle;
   DataOp dop_;
   u32 drdata_ = 0;
+
+  // Tracing: own cycle counter (ticks 1:1 with SoC ticks) + non-owning sink.
+  u64 now_ = 0;
+  trace::EventSink* sink_ = nullptr;
 };
 
 }  // namespace detstl::mem

@@ -37,10 +37,17 @@ void Soc::set_boot(unsigned core_id, u32 pc) {
 
 void Soc::set_active(unsigned core_id, bool active) { active_[core_id] = active; }
 
+void Soc::set_trace_sink(trace::EventSink* sink) {
+  trace_sink_ = sink;
+  bus_.set_trace_sink(sink);
+  for (auto& c : cores_) c.set_trace_sink(sink);
+}
+
 void Soc::reset() {
   now_ = 0;
   flash_.invalidate_buffer();
   bus_ = mem::SharedBus{};
+  bus_.set_trace_sink(trace_sink_);  // the fresh bus loses the sink otherwise
   for (unsigned i = 0; i < cores_.size(); ++i) {
     if (active_[i]) cores_[i].reset(boot_pc_[i]);
   }

@@ -65,6 +65,13 @@ class Soc {
   /// Reset all cores (active ones boot after their start_delay).
   void reset();
 
+  /// Install a detscope event sink into the bus and every core (non-owning;
+  /// null = tracing off). Survives reset(); a SoC value copy (checkpoint)
+  /// carries the pointer verbatim like the CPU hook pointers — the restorer
+  /// re-installs or clears it (fault campaigns clear it on faulty replicas).
+  void set_trace_sink(trace::EventSink* sink);
+  trace::EventSink* trace_sink() const { return trace_sink_; }
+
   /// One SoC clock.
   void tick();
 
@@ -94,6 +101,7 @@ class Soc {
   mem::Sram sram_;
   mem::SharedBus bus_;
   u64 now_ = 0;
+  trace::EventSink* trace_sink_ = nullptr;
 };
 
 }  // namespace detstl::soc

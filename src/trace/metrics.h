@@ -1,0 +1,80 @@
+#pragma once
+// In-memory metrics sink: aggregates events into per-core, per-wrapper-phase
+// counters. This turns the paper's central determinism claim — "during the
+// execution loop every access hits in the private L1s" — into the checkable
+// invariant `execution_loop.bus_submits == 0 && *_misses == 0` (see
+// violations()).
+//
+// Events emitted before the first kPhaseBegin of a core (boot, prologue) and
+// after its wrapper completes land in the kOutsidePhase bucket. Campaign
+// lifecycle events carry core == kNoCore and are counted globally.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "trace/event.h"
+
+namespace detstl::trace {
+
+struct PhaseCounters {
+  u64 events = 0;  // everything attributed to this bucket
+  // Shared-bus activity issued by the core's three requester ports.
+  u64 bus_submits = 0;
+  u64 bus_reads = 0;
+  u64 bus_writes = 0;
+  u64 bus_wait_cycles = 0;       // summed submit->grant latencies
+  u64 bus_occupancy_cycles = 0;  // summed grant->completion occupancies
+  u64 bus_beats = 0;
+  u64 bus_retires = 0;
+  // Private L1 actions.
+  u64 icache_hits = 0;
+  u64 icache_misses = 0;
+  u64 icache_refills = 0;
+  u64 dcache_hits = 0;
+  u64 dcache_misses = 0;
+  u64 dcache_refills = 0;
+  u64 dcache_writebacks = 0;
+  u64 invalidates = 0;
+  // Interrupt recognition.
+  u64 irq_windows = 0;
+  u64 irqs_taken = 0;
+};
+
+class MetricsRegistry final : public EventSink {
+ public:
+  static constexpr unsigned kCores = 3;
+  /// Bucket index for events outside any recognised wrapper phase.
+  static constexpr unsigned kOutsidePhase = kNumPhases;
+  static constexpr unsigned kNumBuckets = kNumPhases + 1;
+
+  void on_event(const Event& e) override;
+
+  const PhaseCounters& counters(unsigned core, unsigned bucket) const {
+    return by_[core][bucket];
+  }
+  const PhaseCounters& counters(unsigned core, Phase p) const {
+    return by_[core][static_cast<unsigned>(p)];
+  }
+  /// Campaign lifecycle events seen (core == kNoCore).
+  u64 campaign_events() const { return campaign_events_; }
+  u64 total_events() const { return total_events_; }
+
+  /// Execution-loop determinism violations: one human-readable line per
+  /// core whose execution loop issued bus transactions or missed a cache.
+  /// Empty == the paper's invariant holds for every traced core.
+  std::vector<std::string> violations() const;
+
+  /// Per-core phase tables (TextTable rendering).
+  std::string render() const;
+
+  void clear();
+
+ private:
+  std::array<std::array<PhaseCounters, kNumBuckets>, kCores> by_{};
+  std::array<unsigned, kCores> current_{kOutsidePhase, kOutsidePhase, kOutsidePhase};
+  u64 campaign_events_ = 0;
+  u64 total_events_ = 0;
+};
+
+}  // namespace detstl::trace

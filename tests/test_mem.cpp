@@ -89,6 +89,12 @@ TEST_F(BusFixture, SingleReadLatency) {
   bus.submit(0, BusReq{.addr = kSramBase + 64, .bytes = 4});
   // SRAM word: 2 device cycles + 1 arbitration.
   EXPECT_EQ(run_until_complete(0), kSramFirstCycles + 1);
+  // Per-requester accounting: one submit, one uncontended grant (wait == 0)
+  // occupying arbitration + device cycles.
+  EXPECT_EQ(bus.stats(0).submits, 1u);
+  EXPECT_EQ(bus.stats(0).grants, 1u);
+  EXPECT_EQ(bus.stats(0).wait_cycles, 0u);
+  EXPECT_EQ(bus.stats(0).occupancy_cycles, u64{kSramFirstCycles} + 1);
 }
 
 TEST_F(BusFixture, WriteThenReadBack) {
@@ -122,6 +128,11 @@ TEST_F(BusFixture, ContentionSerialisesRequesters) {
   }
   EXPECT_GT(t1, t0);
   EXPECT_GE(t1 - t0, kSramFirstCycles);
+  // The winner of the simultaneous submit never waited; the loser waited out
+  // the winner's device access (its grant lands on the completion tick).
+  EXPECT_EQ(bus.stats(0).wait_cycles, 0u);
+  EXPECT_EQ(bus.stats(1).wait_cycles, u64{kSramFirstCycles});
+  EXPECT_EQ(bus.stats(0).grants + bus.stats(1).grants, 2u);
 }
 
 TEST_F(BusFixture, RoundRobinFairness) {

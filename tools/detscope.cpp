@@ -1,0 +1,317 @@
+// detscope — unified observability CLI for the deterministic-STL simulator.
+//
+// Commands:
+//   run            execute the quickstart scenario (cache-wrapped routine on
+//                  up to 3 cores) with tracing on; print per-phase metrics,
+//                  per-requester bus statistics and the determinism
+//                  invariant verdict; optionally write a Chrome-trace JSON
+//                  (--trace FILE, loadable in Perfetto / chrome://tracing).
+//   audit          dynamic determinism audit: the graded core's
+//                  execution-loop event stream must be byte-identical solo
+//                  and under full bus contention (trace/audit.h).
+//   campaign-audit fault-campaign determinism: event stream and outcome
+//                  vector must be byte-identical for every worker-thread
+//                  count.
+//
+// Exit codes: 0 = pass, 1 = a check failed, 2 = usage/build error.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/routines.h"
+#include "core/stl.h"
+#include "exp/experiments.h"
+#include "trace/audit.h"
+#include "trace/chrome_trace.h"
+#include "trace/metrics.h"
+
+namespace {
+
+using namespace detstl;
+
+void usage(std::FILE* os) {
+  std::fprintf(
+      os,
+      "detscope — event tracing, per-phase metrics and determinism audits\n"
+      "\n"
+      "usage:\n"
+      "  detscope run [--routine NAME] [--cores N] [--wa on|off]\n"
+      "               [--trace FILE] [--hits] [--beats]\n"
+      "  detscope audit [--routine NAME|all] [--wa on|off]\n"
+      "  detscope campaign-audit [--module fwd|hdcu|icu] [--threads A,B,C]\n"
+      "               [--stride N]\n"
+      "\n"
+      "run options:\n"
+      "  --routine NAME   built-in routine (default: fwd-pc; see stlint --list)\n"
+      "  --cores N        active cores, 1-3 (default: 3)\n"
+      "  --wa on|off      D$ write-allocate policy (default: on)\n"
+      "  --trace FILE     write the run as Chrome-trace JSON\n"
+      "  --hits           include per-access cache hits in the JSON\n"
+      "  --beats          include per-word bus data beats in the JSON\n");
+}
+
+const core::RoutineEntry* routine_or_die(const std::string& name) {
+  const core::RoutineEntry* e = core::find_routine(name);
+  if (e == nullptr) {
+    std::fprintf(stderr, "detscope: unknown routine '%s' (see stlint --list)\n",
+                 name.c_str());
+    std::exit(2);
+  }
+  return e;
+}
+
+std::string requester_name(unsigned id) {
+  const char* port[] = {"ifetch0", "data", "ifetch1"};
+  return "core " + std::string(1, static_cast<char>('A' + id / 3)) + " " +
+         port[id % 3];
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  std::string routine_name = "fwd-pc";
+  unsigned cores = 3;
+  bool wa = true;
+  std::string trace_path;
+  bool hits = false, beats = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const auto need = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        usage(stderr);
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (args[i] == "--routine") routine_name = need();
+    else if (args[i] == "--cores") cores = static_cast<unsigned>(std::stoul(need()));
+    else if (args[i] == "--wa") wa = need() == "on";
+    else if (args[i] == "--trace") trace_path = need();
+    else if (args[i] == "--hits") hits = true;
+    else if (args[i] == "--beats") beats = true;
+    else {
+      usage(stderr);
+      return 2;
+    }
+  }
+  if (cores < 1 || cores > 3) {
+    std::fprintf(stderr, "detscope: --cores must be 1..3\n");
+    return 2;
+  }
+
+  const auto routine = routine_or_die(routine_name)->make();
+  std::vector<core::BuiltTest> tests;
+  for (unsigned c = 0; c < cores; ++c) {
+    core::BuildEnv env;
+    env.core_id = c;
+    env.kind = static_cast<isa::CoreKind>(c);
+    env.code_base = mem::kFlashBase + 0x2000 + c * 0x40000;
+    env.data_base = core::default_data_base(c);
+    env.write_allocate = wa;
+    tests.push_back(
+        core::build_wrapped(*routine, core::WrapperKind::kCacheBased, env));
+  }
+
+  soc::SocConfig cfg;
+  cfg.start_delay = {0, 3, 7};
+  soc::Soc soc(cfg);
+  for (const auto& t : tests) {
+    soc.load_program(t.prog);
+    soc.set_boot(t.env.core_id, t.prog.entry());
+  }
+  for (unsigned c = cores; c < 3; ++c) soc.set_active(c, false);
+
+  trace::FanoutSink fan;
+  trace::MetricsRegistry metrics;
+  trace::ChromeTraceWriter writer;
+  writer.set_include_hits(hits);
+  writer.set_include_beats(beats);
+  fan.add(&metrics);
+  if (!trace_path.empty()) fan.add(&writer);
+  soc.set_trace_sink(&fan);
+
+  soc.reset();
+  const auto res = soc.run(10'000'000);
+  if (res.timed_out) {
+    std::fprintf(stderr, "detscope: watchdog expired\n");
+    return 1;
+  }
+
+  bool all_pass = true;
+  for (unsigned c = 0; c < cores; ++c) {
+    const auto v = core::read_verdict(soc, soc::mailbox_addr(c));
+    const bool pass = v.status == soc::kStatusPass && v.signature == tests[c].golden;
+    all_pass &= pass;
+    std::printf("core %c: %s  signature 0x%08x (golden 0x%08x)\n", 'A' + c,
+                pass ? "PASS" : "FAIL", v.signature, tests[c].golden);
+  }
+
+  std::printf("\n%s", metrics.render().c_str());
+
+  TextTable bus("shared bus, per requester");
+  bus.header({"requester", "submits", "grants", "wait cyc", "occupancy cyc"});
+  for (unsigned id = 0; id < cores * 3; ++id) {
+    const auto& st = soc.bus().stats(id);
+    if (st.submits == 0) continue;
+    bus.row({requester_name(id),
+             TextTable::fmt_int(static_cast<long long>(st.submits)),
+             TextTable::fmt_int(static_cast<long long>(st.grants)),
+             TextTable::fmt_int(static_cast<long long>(st.wait_cycles)),
+             TextTable::fmt_int(static_cast<long long>(st.occupancy_cycles))});
+  }
+  bus.print();
+
+  const auto violations = metrics.violations();
+  if (violations.empty()) {
+    std::printf("\ninvariant: execution loops ran bus-silent on every core — OK\n");
+  } else {
+    std::printf("\ninvariant VIOLATED:\n");
+    for (const auto& v : violations) std::printf("  %s\n", v.c_str());
+  }
+
+  if (!trace_path.empty()) {
+    if (!writer.write_file(trace_path)) {
+      std::fprintf(stderr, "detscope: cannot write %s\n", trace_path.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
+                writer.size());
+  }
+  return all_pass && violations.empty() ? 0 : 1;
+}
+
+int cmd_audit(const std::vector<std::string>& args) {
+  std::string routine_name = "all";
+  trace::AuditOptions opts;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const auto need = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        usage(stderr);
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (args[i] == "--routine") routine_name = need();
+    else if (args[i] == "--wa") opts.write_allocate = need() == "on";
+    else {
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  std::vector<const core::RoutineEntry*> targets;
+  if (routine_name == "all") {
+    for (const auto& e : core::routine_registry()) targets.push_back(&e);
+  } else {
+    targets.push_back(routine_or_die(routine_name));
+  }
+
+  bool all_pass = true;
+  for (const auto* t : targets) {
+    const auto routine = t->make();
+    const auto r = trace::audit_determinism(*routine, opts);
+    all_pass &= r.passed();
+    std::printf(
+        "%-10s %s  window %zu events, solo %llu cyc vs contended %llu cyc "
+        "(%llu neighbour grants)\n",
+        t->name, r.passed() ? "DETERMINISTIC " : "NON-DETERMINISTIC",
+        r.window_events_solo, static_cast<unsigned long long>(r.solo_cycles),
+        static_cast<unsigned long long>(r.contended_cycles),
+        static_cast<unsigned long long>(r.contended_neighbor_grants));
+    if (!r.detail.empty()) std::printf("  %s\n", r.detail.c_str());
+  }
+  std::printf("%s\n", all_pass ? "audit: PASS" : "audit: FAIL");
+  return all_pass ? 0 : 1;
+}
+
+int cmd_campaign_audit(const std::vector<std::string>& args) {
+  fault::Module module = fault::Module::kFwd;
+  std::vector<unsigned> threads = {1, 2, 8};
+  u32 stride = 8;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const auto need = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        usage(stderr);
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (args[i] == "--module") {
+      const std::string m = need();
+      if (m == "fwd") module = fault::Module::kFwd;
+      else if (m == "hdcu") module = fault::Module::kHdcu;
+      else if (m == "icu") module = fault::Module::kIcu;
+      else {
+        usage(stderr);
+        return 2;
+      }
+    } else if (args[i] == "--threads") {
+      threads.clear();
+      std::string list = need();
+      for (std::size_t p = 0; p < list.size();) {
+        const std::size_t comma = list.find(',', p);
+        threads.push_back(
+            static_cast<unsigned>(std::stoul(list.substr(p, comma - p))));
+        p = comma == std::string::npos ? list.size() : comma + 1;
+      }
+    } else if (args[i] == "--stride") {
+      stride = static_cast<u32>(std::stoul(need()));
+    } else {
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  // The graded scenario of the parallel-campaign regression tests: one core,
+  // plain wrapper, value-only fwd routine (fast, deterministic).
+  const auto routine = module == fault::Module::kIcu ? core::make_icu_test()
+                                                     : core::make_fwd_test(false);
+  exp::Scenario sc;
+  sc.active_cores = 1;
+  sc.stagger = {0, 0, 0};
+  sc.label = "campaign-audit";
+  auto tests = exp::build_scenario_tests(*routine, core::WrapperKind::kPlain, sc,
+                                         /*graded=*/0, /*use_perf_counters=*/false);
+  fault::CampaignConfig cc;
+  cc.module = module;
+  cc.core_id = 0;
+  cc.kind = isa::CoreKind::kA;
+  cc.fault_stride = stride;
+  const auto factory = exp::scenario_factory(std::move(tests), sc, 0);
+
+  const auto r = trace::audit_campaign_determinism(cc, factory, threads);
+  std::printf("campaign-audit [%s, stride %u, threads", fault::module_name(module),
+              stride);
+  for (std::size_t i = 0; i < r.thread_counts.size(); ++i)
+    std::printf("%s%u", i == 0 ? " " : ",", r.thread_counts[i]);
+  std::printf("]: %s (%zu events per run)\n",
+              r.passed() ? "DETERMINISTIC" : "NON-DETERMINISTIC", r.events);
+  if (!r.detail.empty()) std::printf("  %s\n", r.detail.c_str());
+  return r.passed() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(stderr);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (cmd == "-h" || cmd == "--help") {
+    usage(stdout);
+    return 0;
+  }
+  try {
+    if (cmd == "run") return cmd_run(args);
+    if (cmd == "audit") return cmd_audit(args);
+    if (cmd == "campaign-audit") return cmd_campaign_audit(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "detscope: %s\n", e.what());
+    return 2;
+  }
+  std::fprintf(stderr, "detscope: unknown command '%s'\n", cmd.c_str());
+  usage(stderr);
+  return 2;
+}

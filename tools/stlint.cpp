@@ -7,6 +7,7 @@
 //   1  at least one error-severity finding
 //   2  usage error / unknown routine / build failure
 
+#include <cstdio>
 #include <cstring>
 #include <functional>
 #include <iostream>
@@ -21,24 +22,8 @@
 namespace {
 
 using namespace detstl;
-
-struct RoutineEntry {
-  const char* name;
-  std::function<std::unique_ptr<core::SelfTestRoutine>()> make;
-};
-
-std::vector<RoutineEntry> routine_registry() {
-  return {
-      {"alu", core::make_alu_test},
-      {"rf-march", core::make_rf_march_test},
-      {"shifter", core::make_shifter_test},
-      {"branch", core::make_branch_test},
-      {"muldiv", core::make_muldiv_test},
-      {"fwd", [] { return core::make_fwd_test(false); }},
-      {"fwd-pc", [] { return core::make_fwd_test(true); }},
-      {"icu", core::make_icu_test},
-  };
-}
+using core::RoutineEntry;
+using core::routine_registry;
 
 struct Options {
   std::vector<std::string> routines;  // empty = all
@@ -48,6 +33,7 @@ struct Options {
   isa::CoreKind kind = isa::CoreKind::kA;
   bool quiet = false;
   bool verbose = false;
+  bool json = false;
   bool list = false;
   bool fixtures_selfcheck = false;
   std::string fixture;
@@ -70,7 +56,8 @@ void usage(std::ostream& os) {
         "  --perf           fold performance counters into the signature\n"
         "  --core K         core kind: A | B | C           (default: A)\n"
         "  -q, --quiet      only print per-target verdicts\n"
-        "  -v, --verbose    print full reports even when clean\n";
+        "  -v, --verbose    print full reports even when clean\n"
+        "  --json           machine-readable report on stdout (routine mode)\n";
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -110,6 +97,8 @@ bool parse(int argc, char** argv, Options& opt) {
       opt.quiet = true;
     } else if (a == "-v" || a == "--verbose") {
       opt.verbose = true;
+    } else if (a == "--json") {
+      opt.json = true;
     } else if (a == "--list") {
       opt.list = true;
     } else if (a == "--fixtures") {
@@ -127,6 +116,28 @@ bool parse(int argc, char** argv, Options& opt) {
     }
   }
   return true;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
 }
 
 int run_fixture(const Options& opt) {
@@ -202,6 +213,8 @@ int main(int argc, char** argv) {
   else wa_modes = {opt.wa == 1};
 
   unsigned errors = 0;
+  bool first_target = true;
+  if (opt.json) std::cout << "{\"targets\":[";
   for (const RoutineEntry* t : targets) {
     for (bool wa : wa_modes) {
       const auto routine = t->make();
@@ -220,6 +233,30 @@ int main(int argc, char** argv) {
       }
       const bool clean = bt.lint.clean();
       errors += bt.lint.errors();
+      if (opt.json) {
+        if (!first_target) std::cout << ",";
+        first_target = false;
+        std::cout << "\n  {\"routine\":\"" << json_escape(t->name)
+                  << "\",\"wrapper\":\"" << core::wrapper_name(opt.wrapper)
+                  << "\",\"write_allocate\":" << (wa ? "true" : "false")
+                  << ",\"errors\":" << bt.lint.errors()
+                  << ",\"warnings\":" << bt.lint.warnings()
+                  << ",\"diagnostics\":[";
+        bool first_diag = true;
+        for (const auto& d : bt.lint.diagnostics()) {
+          if (!first_diag) std::cout << ",";
+          first_diag = false;
+          char pc[16];
+          std::snprintf(pc, sizeof pc, "0x%08x", d.pc);
+          std::cout << "\n    {\"severity\":\""
+                    << analysis::severity_name(d.severity) << "\",\"rule\":\""
+                    << analysis::rule_id(d.rule) << "\",\"pc\":\"" << pc
+                    << "\",\"message\":\"" << json_escape(d.message)
+                    << "\",\"hint\":\"" << json_escape(d.hint) << "\"}";
+        }
+        std::cout << (first_diag ? "]}" : "\n  ]}");
+        continue;
+      }
       std::cout << (clean ? "PASS " : "FAIL ") << t->name << " ["
                 << core::wrapper_name(opt.wrapper) << ", "
                 << (wa ? "write-allocate" : "no-write-allocate") << "] "
@@ -229,5 +266,8 @@ int main(int argc, char** argv) {
         std::cout << bt.lint.format();
     }
   }
+  if (opt.json)
+    std::cout << "\n],\"errors\":" << errors
+              << ",\"clean\":" << (errors ? "false" : "true") << "}\n";
   return errors ? 1 : 0;
 }
