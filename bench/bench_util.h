@@ -1,6 +1,7 @@
 #pragma once
 // Shared helpers for the table-reproduction binaries.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -13,11 +14,25 @@
 
 namespace detstl::bench {
 
+/// Strict unsigned parse: digits only, no trailing junk. Exits 2 on garbage
+/// so a typo'd DETSTL_THREADS or --threads never silently becomes 0.
+inline unsigned parse_unsigned_or_die(const char* what, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long v = std::strtoul(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || *text == '-') {
+    std::fprintf(stderr, "error: %s expects an unsigned integer, got '%s'\n",
+                 what, text);
+    std::exit(2);
+  }
+  return static_cast<unsigned>(v);
+}
+
 /// Environment-variable override with default (fault-sampling stride etc.).
 inline unsigned env_unsigned(const char* name, unsigned def) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return def;
-  return static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+  return parse_unsigned_or_die(name, v);
 }
 
 /// Command-line options shared by the table benches.
@@ -34,7 +49,7 @@ inline BenchOptions parse_options(int argc, char** argv) {
     if (std::strcmp(argv[i], "--progress") == 0) {
       o.progress = true;
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      o.threads = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      o.threads = parse_unsigned_or_die("--threads", argv[++i]);
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       o.trace_path = argv[++i];
     } else {
@@ -42,6 +57,17 @@ inline BenchOptions parse_options(int argc, char** argv) {
                    argv[0]);
       std::exit(2);
     }
+  }
+  // Probe the trace path up front: a bench can run for minutes, and an
+  // unwritable destination should fail before the campaign, not after it.
+  if (!o.trace_path.empty()) {
+    std::FILE* f = std::fopen(o.trace_path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open trace file %s for writing\n",
+                   o.trace_path.c_str());
+      std::exit(2);
+    }
+    std::fclose(f);
   }
   return o;
 }

@@ -336,6 +336,17 @@ BuiltTest build_wrapped(const SelfTestRoutine& r, WrapperKind w, const BuildEnv&
   return bt;
 }
 
+FallbackPair build_with_fallback(const SelfTestRoutine& r, const BuildEnv& env,
+                                 u32 fallback_code_base) {
+  FallbackPair pair;
+  pair.cached = build_wrapped(r, WrapperKind::kCacheBased, env);
+  BuildEnv fb = env;
+  fb.code_base = fallback_code_base;
+  pair.fallback = build_wrapped(r, WrapperKind::kPlain, fb);
+  pair.signature_stable = pair.cached.golden == pair.fallback.golden;
+  return pair;
+}
+
 TestVerdict read_verdict(const soc::Soc& soc, u32 mailbox) {
   TestVerdict v;
   v.status = soc.debug_read32(mailbox);

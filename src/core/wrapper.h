@@ -99,6 +99,22 @@ std::string emit_wrapped(isa::Assembler& a, const SelfTestRoutine& r,
 /// splitting the routine).
 BuiltTest build_wrapped(const SelfTestRoutine& r, WrapperKind w, const BuildEnv& env);
 
+/// A routine built twice for the supervisor's degradation ladder
+/// (runtime/supervisor.h): the cache-based program plus an uncacheable plain
+/// rebuild at `fallback_code_base` — the paper's CacheCfg fallback path.
+/// Each program carries its own calibrated golden; they coincide
+/// (`signature_stable`) whenever the signature folds only architectural
+/// values, and diverge for timing-folding routines (perf counters, ICU
+/// recognition distance).
+struct FallbackPair {
+  BuiltTest cached;    // WrapperKind::kCacheBased at env.code_base
+  BuiltTest fallback;  // WrapperKind::kPlain at fallback_code_base
+  bool signature_stable = false;
+};
+
+FallbackPair build_with_fallback(const SelfTestRoutine& r, const BuildEnv& env,
+                                 u32 fallback_code_base);
+
 /// Read the verdict a wrapped test left in its mailbox.
 struct TestVerdict {
   u32 status = 0;  // soc::kStatusRunning/Pass/Fail

@@ -92,6 +92,12 @@ class Cpu {
   /// Behavioural ICU state (for checkpoint restore into netlist models).
   const IcuState& icu_state() const { return icu_; }
 
+  /// OR external event strobes into this cycle's ICU inputs — an
+  /// asynchronous interrupt arriving mid-run (runtime::DisturbanceInjector).
+  /// Travels the same synchroniser/recognition path as pipeline-raised
+  /// events; ignored architecturally while mstatus.IE is clear.
+  void inject_icu_event(u8 sources) { icu_events_ |= sources; }
+
  private:
   struct SlotInstr {
     bool valid = false;

@@ -74,8 +74,22 @@ void SharedBus::perform(Slot& slot, Flash& flash, Sram& sram) {
   }
 }
 
+void SharedBus::cancel_requester(unsigned id) {
+  assert(id < kMaxBusRequesters);
+  if (grant_valid_ && grant_id_ == id) {
+    grant_valid_ = false;
+    cycles_left_ = 0;
+  }
+  slots_[id].state = SlotState::kIdle;
+}
+
 void SharedBus::tick(Flash& flash, Sram& sram) {
   ++now_;
+  if (stall_cycles_ > 0) {
+    --stall_cycles_;
+    ++stall_ticks_;
+    return;  // interconnect frozen: no device progress, no arbitration
+  }
   if (grant_valid_) {
     if (cycles_left_ > 0) --cycles_left_;
     if (cycles_left_ == 0) {

@@ -72,6 +72,20 @@ class SharedBus {
 
   const BusStats& stats(unsigned id) const { return stats_[id]; }
 
+  // --- disturbance / supervisor hooks -----------------------------------------
+  /// Freeze arbitration and the in-flight device access for `cycles` ticks
+  /// (error-retry burst on the interconnect). Cumulative if called again
+  /// before an earlier stall drains.
+  void inject_stall(u32 cycles) { stall_cycles_ += cycles; }
+  /// Total ticks the bus has spent frozen by inject_stall (diagnostics).
+  u64 stall_ticks() const { return stall_ticks_; }
+
+  /// Drop a requester's outstanding request in any state. Safe mid-flight:
+  /// the device access only happens at completion (perform()), so a
+  /// cancelled write never partially commits. Used when a core is aborted
+  /// (watchdog timeout) or quarantined.
+  void cancel_requester(unsigned id);
+
   void set_trace_sink(trace::EventSink* sink) { sink_ = sink; }
   trace::EventSink* trace_sink() const { return sink_; }
 
@@ -94,6 +108,8 @@ class SharedBus {
   unsigned rr_next_ = 0;  // round-robin scan start
   u64 transactions_ = 0;
   u64 now_ = 0;
+  u32 stall_cycles_ = 0;  // remaining injected-stall ticks
+  u64 stall_ticks_ = 0;
   std::array<BusStats, kMaxBusRequesters> stats_{};
   trace::EventSink* sink_ = nullptr;  // non-owning; see header comment
 };

@@ -126,6 +126,47 @@ u32 Cache::valid_lines() const {
   return n;
 }
 
+bool Cache::invalidate_line(u32 addr) {
+  Line* l = find(addr);
+  if (l == nullptr) return false;
+  l->valid = false;
+  l->dirty = false;
+  l->lru = 0;
+  return true;
+}
+
+bool Cache::flip_bit(u32 addr, u32 bit) {
+  Line* l = find(addr);
+  if (l == nullptr) return false;
+  bit %= cfg_.line_bytes * 8;
+  l->data[bit / 8] ^= static_cast<u8>(1u << (bit % 8));
+  return true;
+}
+
+bool Cache::force_bit(u32 addr, u32 bit, bool value) {
+  Line* l = find(addr);
+  if (l == nullptr) return false;
+  bit %= cfg_.line_bytes * 8;
+  const u8 mask = static_cast<u8>(1u << (bit % 8));
+  if (value)
+    l->data[bit / 8] |= mask;
+  else
+    l->data[bit / 8] &= static_cast<u8>(~mask);
+  return true;
+}
+
+std::vector<u32> Cache::resident_lines() const {
+  std::vector<u32> out;
+  out.reserve(lines_.size());
+  for (u32 set = 0; set < cfg_.num_sets(); ++set) {
+    for (u32 w = 0; w < cfg_.ways; ++w) {
+      const Line& l = lines_[set * cfg_.ways + w];
+      if (l.valid) out.push_back((l.tag * cfg_.num_sets() + set) * cfg_.line_bytes);
+    }
+  }
+  return out;
+}
+
 int Cache::way_of(u32 addr) const {
   const u32 set = set_index(addr);
   const u32 tag = tag_of(addr);

@@ -78,6 +78,29 @@ class Cache {
   /// side effects).
   int way_of(u32 addr) const;
 
+  // --- disturbance-injection points (runtime::DisturbanceInjector) -------------
+  // These model external perturbations — snoop-style invalidations and
+  // particle-strike soft errors — so none of them touch the LRU state or the
+  // dirty flag: the cache cannot tell a corrupted line from a clean one,
+  // which is exactly why the wrapper's signature check exists.
+
+  /// Drop `addr`'s line if resident. Returns true when a line was discarded
+  /// (dirty content is lost, like invalidate_all).
+  bool invalidate_line(u32 addr);
+
+  /// Toggle one bit of `addr`'s resident line (single-event upset).
+  /// `bit` counts from the line base, modulo line_bytes*8. Returns false when
+  /// the line is not resident.
+  bool flip_bit(u32 addr, u32 bit);
+
+  /// Force one bit of `addr`'s resident line to `value` (stuck-at defect in
+  /// the data array). Returns false when the line is not resident.
+  bool force_bit(u32 addr, u32 bit, bool value);
+
+  /// Base addresses of every valid line, set-major then way order — a
+  /// deterministic enumeration for seeded disturbance targeting.
+  std::vector<u32> resident_lines() const;
+
  private:
   struct Line {
     bool valid = false;

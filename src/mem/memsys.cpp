@@ -151,6 +151,22 @@ void MemSystem::ifetch_cancel() {
   if (iactive_count() == 0) ihead_ = 0;
 }
 
+void MemSystem::abort_ports() {
+  for (auto& s : islot_) {
+    s.state = IState::kIdle;
+    s.discard = false;
+  }
+  ihead_ = 0;
+  dstate_ = DState::kIdle;
+}
+
+void MemSystem::hard_reset() {
+  abort_ports();
+  cache_cfg_ = 0;
+  icache_.invalidate_all();
+  dcache_.invalidate_all();
+}
+
 // ----------------------------------------------------------------------------
 // Data port
 // ----------------------------------------------------------------------------

@@ -38,6 +38,10 @@ class MemSystem {
 
   const Cache& icache() const { return icache_; }
   const Cache& dcache() const { return dcache_; }
+  /// Mutable cache access for the disturbance-injection hooks (cache.h);
+  /// simulation code goes through cache_op / the port state machines.
+  Cache& icache() { return icache_; }
+  Cache& dcache() { return dcache_; }
   Tcm& itcm() { return itcm_; }
   Tcm& dtcm() { return dtcm_; }
   const Tcm& itcm() const { return itcm_; }
@@ -88,6 +92,17 @@ class MemSystem {
 
   /// Advance the port state machines; call once per cycle after the bus tick.
   void tick(SharedBus& bus);
+
+  /// Abort both port state machines, dropping any in-flight request. The
+  /// caller must also cancel this core's bus slots
+  /// (SharedBus::cancel_requester) — soc::Soc::restart_core does both.
+  void abort_ports();
+
+  /// Per-core hardware reset view: abort the ports, disable the caches and
+  /// discard their content (reset-invalidated arrays). TCM contents survive,
+  /// as on the real device. Used by Soc::restart_core / park_core; plain
+  /// Cpu::reset deliberately leaves the memory system alone.
+  void hard_reset();
 
   /// Trace sink (non-owning, checkpoint contract of trace/event.h). The CPU
   /// installs it via Cpu::set_trace_sink; null = tracing off.

@@ -1,0 +1,206 @@
+#include "runtime/campaign.h"
+
+#include <chrono>
+#include <functional>
+#include <stdexcept>
+#include <thread>
+
+#include "common/table.h"
+#include "fault/work_queue.h"
+
+namespace detstl::runtime {
+
+namespace {
+
+/// Run `body(worker_id)` on `threads` workers and join; one thread runs the
+/// body on the calling thread (exactly the serial path, no spawn). Same
+/// idiom as the fault campaign's pool.
+void run_pool(unsigned threads, const std::function<void(unsigned)>& body) {
+  if (threads <= 1) {
+    body(0);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned w = 0; w < threads; ++w) pool.emplace_back(body, w);
+  for (auto& t : pool) t.join();
+}
+
+const char* kDefaultRoutines[] = {"alu", "rf-march", "shifter", "branch", "muldiv"};
+
+}  // namespace
+
+u64 derive_run_seed(u64 master, unsigned run) {
+  u64 z = master + 0x9e3779b97f4a7c15ull * (run + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::vector<u8> CampaignResult::outcome_vector() const {
+  std::vector<u8> out;
+  for (const RunRecord& r : records) {
+    for (unsigned i = 0; i < 8; ++i) out.push_back(static_cast<u8>(r.seed >> (8 * i)));
+    const std::vector<u8> v = r.result.outcome_vector();
+    out.insert(out.end(), v.begin(), v.end());
+  }
+  return out;
+}
+
+u64 CampaignResult::digest() const {
+  u64 h = 0xcbf29ce484222325ull;  // FNV-1a 64
+  for (const u8 b : outcome_vector()) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+CampaignResult run_disturbance_campaign(
+    const CampaignSpec& spec,
+    const std::vector<const core::SelfTestRoutine*>& routines) {
+  if (spec.cores < 1 || spec.cores > soc::kMaxCores)
+    throw std::runtime_error("campaign: cores must be 1..3");
+  if (routines.empty()) throw std::runtime_error("campaign: no routines");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const SchedulePlan plan = plan_schedule(routines, spec.cores);
+
+  DisturbanceSpec dspec = spec.disturb;
+  if (dspec.window_hi == 0) {
+    // Derive the injection window from the calibrated schedule length: twice
+    // the slowest core's fault-free cached time, so disturbances land across
+    // the whole run including retries.
+    u64 longest = 0;
+    for (unsigned c = 0; c < spec.cores; ++c) {
+      u64 sum = 0;
+      for (const PlannedRoutine& r : plan.schedule[c]) sum += r.cached_calib;
+      longest = std::max(longest, sum);
+    }
+    dspec.window_hi = dspec.window_lo + 2 * longest + 1'000;
+  }
+
+  CampaignResult res;
+  res.runs = spec.runs;
+  res.cores = spec.cores;
+  res.seed = spec.seed;
+  for (const auto* r : routines) res.routine_names.push_back(r->name());
+  res.records.resize(spec.runs);
+
+  const unsigned threads =
+      spec.threads != 0 ? spec.threads
+                        : std::max(1u, std::thread::hardware_concurrency());
+  res.threads_used = std::min<unsigned>(threads, std::max(1u, spec.runs));
+
+  // Outcomes are written by run index; aggregates (report, digest) are
+  // derived from the merged vector after the join — byte-identical results
+  // at any thread count.
+  fault::WorkQueue queue(spec.runs, 1);
+  run_pool(res.threads_used, [&](unsigned) {
+    while (const auto chunk = queue.next()) {
+      for (u64 i = chunk->begin; i < chunk->end; ++i) {
+        const u64 run_seed = derive_run_seed(spec.seed, static_cast<unsigned>(i));
+        DisturbanceInjector injector(
+            make_plan(dspec, run_seed, spec.cores));
+        StlSupervisor sup(plan.soc, plan.schedule, spec.supervisor);
+        res.records[i] = RunRecord{run_seed, sup.run(&injector)};
+      }
+    }
+  });
+
+  res.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  return res;
+}
+
+CampaignResult run_disturbance_campaign(const CampaignSpec& spec) {
+  std::vector<std::string> names = spec.routines;
+  if (names.empty())
+    names.assign(std::begin(kDefaultRoutines), std::end(kDefaultRoutines));
+  std::vector<std::unique_ptr<core::SelfTestRoutine>> owned;
+  std::vector<const core::SelfTestRoutine*> ptrs;
+  for (const auto& n : names) {
+    const core::RoutineEntry* e = core::find_routine(n);
+    if (e == nullptr)
+      throw std::runtime_error("campaign: unknown routine '" + n +
+                               "' (see stlint --list)");
+    owned.push_back(e->make());
+    ptrs.push_back(owned.back().get());
+  }
+  return run_disturbance_campaign(spec, ptrs);
+}
+
+std::string render_recovery_report(const CampaignResult& r) {
+  std::string routines;
+  for (std::size_t i = 0; i < r.routine_names.size(); ++i)
+    routines += (i == 0 ? "" : ", ") + r.routine_names[i];
+
+  std::string out = "stlrun disturbance campaign: " + std::to_string(r.runs) +
+                    " runs, seed " + TextTable::fmt_hex(r.seed) + ", " +
+                    std::to_string(r.cores) + " cores\nroutines: " + routines +
+                    "\n\n";
+
+  // Injection totals per disturbance kind.
+  InjectionStats inj;
+  for (const RunRecord& rec : r.records) {
+    for (unsigned k = 0; k < kNumDisturbanceKinds; ++k) {
+      inj.applied[k] += rec.result.injections.applied[k];
+      inj.skipped[k] += rec.result.injections.skipped[k];
+    }
+  }
+  TextTable dist("disturbances injected (all runs)");
+  dist.header({"kind", "applied", "skipped"});
+  for (unsigned k = 0; k < kNumDisturbanceKinds; ++k) {
+    if (inj.applied[k] == 0 && inj.skipped[k] == 0) continue;
+    dist.row({disturbance_name(static_cast<DisturbanceKind>(k)),
+              TextTable::fmt_int(static_cast<long long>(inj.applied[k])),
+              TextTable::fmt_int(static_cast<long long>(inj.skipped[k]))});
+  }
+  out += dist.str() + "\n";
+
+  // Per-core recovery ladder outcomes, aggregated over runs.
+  TextTable tab("per-core recovery report");
+  tab.header({"core", "ran", "pass", "recovered", "degraded", "quarantined",
+              "skipped", "retries", "quarantine runs"});
+  u64 transient = 0, permanent = 0, budget = 0;
+  for (unsigned c = 0; c < r.cores; ++c) {
+    u64 ran = 0, clean = 0, recovered = 0, degraded = 0, quarantined = 0,
+        skipped = 0, retries = 0, qruns = 0;
+    for (const RunRecord& rec : r.records) {
+      const CoreReport& cr = rec.result.cores[c];
+      qruns += cr.quarantined ? 1 : 0;
+      for (const RoutineRecord& rr : cr.records) {
+        switch (rr.outcome) {
+          case RecoveryOutcome::kPassClean: ++clean; ++ran; break;
+          case RecoveryOutcome::kPassRecovered: ++recovered; ++ran; break;
+          case RecoveryOutcome::kPassDegraded: ++degraded; ++ran; break;
+          case RecoveryOutcome::kQuarantined: ++quarantined; ++ran; break;
+          case RecoveryOutcome::kSkipped: ++skipped; break;
+          case RecoveryOutcome::kBudgetExhausted: ++budget; break;
+        }
+        if (rr.cached_attempts > 1) retries += rr.cached_attempts - 1;
+        if (rr.classification == Classification::kTransient) ++transient;
+        if (rr.classification == Classification::kPermanent) ++permanent;
+      }
+    }
+    tab.row({std::string(1, static_cast<char>('A' + c)),
+             TextTable::fmt_int(static_cast<long long>(ran)),
+             TextTable::fmt_int(static_cast<long long>(clean)),
+             TextTable::fmt_int(static_cast<long long>(recovered)),
+             TextTable::fmt_int(static_cast<long long>(degraded)),
+             TextTable::fmt_int(static_cast<long long>(quarantined)),
+             TextTable::fmt_int(static_cast<long long>(skipped)),
+             TextTable::fmt_int(static_cast<long long>(retries)),
+             TextTable::fmt_int(static_cast<long long>(qruns))});
+  }
+  out += tab.str() + "\n";
+
+  out += "classification: " + std::to_string(transient) + " transient, " +
+         std::to_string(permanent) + " permanent";
+  if (budget != 0)
+    out += ", " + std::to_string(budget) + " budget-exhausted routine slots";
+  out += "\noutcome digest: " + TextTable::fmt_hex(r.digest()) + "\n";
+  return out;
+}
+
+}  // namespace detstl::runtime

@@ -1,0 +1,65 @@
+#pragma once
+// Disturbance campaign: many seeded supervisor runs, sharded over worker
+// threads with the PR 2 work-queue executor. Determinism contract (same as
+// the fault campaign's): the outcome vector — the concatenation of every
+// run's SupervisorResult::outcome_vector() — is byte-identical for a fixed
+// seed at ANY thread count. Per-run results are written by run index into a
+// pre-sized vector and every aggregate is derived from that vector after the
+// join, so scheduling order can never leak into the output.
+
+#include <string>
+#include <vector>
+
+#include "runtime/supervisor.h"
+
+namespace detstl::runtime {
+
+struct CampaignSpec {
+  u64 seed = 0xD15B0001;
+  unsigned runs = 16;
+  unsigned threads = 0;   // 0 = one per hardware thread, 1 = serial
+  unsigned cores = 3;
+  /// Registry routine names (core/stl.h); empty = a default mix of the
+  /// built-in routines. The overload taking routine pointers ignores this.
+  std::vector<std::string> routines;
+  SupervisorConfig supervisor{};
+  DisturbanceSpec disturb{};  // window_hi 0 = derived from the calibration
+};
+
+struct RunRecord {
+  u64 seed = 0;
+  SupervisorResult result;
+};
+
+struct CampaignResult {
+  unsigned runs = 0;
+  unsigned cores = 0;
+  unsigned threads_used = 0;
+  u64 seed = 0;
+  std::vector<std::string> routine_names;
+  std::vector<RunRecord> records;  // indexed by run
+  double wall_seconds = 0.0;       // excluded from the determinism contract
+
+  /// Concatenated canonical run results (byte-identical across thread counts).
+  std::vector<u8> outcome_vector() const;
+  /// FNV-1a 64 of outcome_vector().
+  u64 digest() const;
+};
+
+/// Per-run seed: splitmix64-style mix of the master seed and the run index,
+/// so runs are decorrelated but reproducible individually.
+u64 derive_run_seed(u64 master, unsigned run);
+
+CampaignResult run_disturbance_campaign(
+    const CampaignSpec& spec,
+    const std::vector<const core::SelfTestRoutine*>& routines);
+
+/// Convenience overload resolving spec.routines from the registry; throws
+/// std::runtime_error on an unknown name.
+CampaignResult run_disturbance_campaign(const CampaignSpec& spec);
+
+/// Deterministic per-core recovery report (no wall-clock, no thread count —
+/// safe to diff across thread counts).
+std::string render_recovery_report(const CampaignResult& r);
+
+}  // namespace detstl::runtime

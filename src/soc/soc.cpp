@@ -53,6 +53,22 @@ void Soc::reset() {
   }
 }
 
+void Soc::restart_core(unsigned core_id, u32 pc) {
+  assert(core_id < cores_.size());
+  for (unsigned port = 0; port < 3; ++port) bus_.cancel_requester(core_id * 3 + port);
+  cores_[core_id].memsys().hard_reset();
+  cores_[core_id].reset(pc);
+  boot_pc_[core_id] = pc;
+  active_[core_id] = true;
+}
+
+void Soc::park_core(unsigned core_id) {
+  assert(core_id < cores_.size());
+  for (unsigned port = 0; port < 3; ++port) bus_.cancel_requester(core_id * 3 + port);
+  cores_[core_id].memsys().hard_reset();
+  active_[core_id] = false;
+}
+
 void Soc::tick() {
   ++now_;
   for (unsigned i = 0; i < cores_.size(); ++i) {

@@ -65,6 +65,19 @@ class Soc {
   /// Reset all cores (active ones boot after their start_delay).
   void reset();
 
+  // --- per-core supervisor hooks (src/runtime/) -------------------------------
+  /// Reset one core mid-run and point it at `pc`, leaving the other cores
+  /// and the SoC clock untouched: cancels the core's bus slots (safe — the
+  /// device access happens at completion, so an in-flight write never
+  /// partially commits), aborts its memory-system ports, hard-resets its
+  /// cache view and marks it active. The supervisor uses this for watchdog
+  /// aborts, retry-with-reload and the uncacheable fallback rung.
+  void restart_core(unsigned core_id, u32 pc);
+
+  /// Quarantine a core: cancel its bus traffic, reset its memory-system
+  /// view and deactivate it. The remaining cores keep running.
+  void park_core(unsigned core_id);
+
   /// Install a detscope event sink into the bus and every core (non-owning;
   /// null = tracing off). Survives reset(); a SoC value copy (checkpoint)
   /// carries the pointer verbatim like the CPU hook pointers — the restorer

@@ -128,6 +128,15 @@ void ChromeTraceWriter::write(std::ostream& os) const {
         j.args = "\"unit\":" + std::to_string(e.unit) +
                  ",\"a\":" + std::to_string(e.a) + ",\"b\":" + std::to_string(e.b);
         break;
+      case EventKind::kDisturbance:
+      case EventKind::kSupAttempt:
+      case EventKind::kSupOutcome:
+      case EventKind::kSupDecision:
+        j.tid = kCoreTidBase + (e.core < kCoreBound ? e.core : 0);
+        j.args = "\"unit\":" + std::to_string(e.unit) + ",\"addr\":\"" +
+                 hex(e.addr) + "\",\"a\":" + std::to_string(e.a) +
+                 ",\"b\":" + std::to_string(e.b);
+        break;
     }
     out.push_back(std::move(j));
   }

@@ -20,6 +20,10 @@ const char* kind_name(EventKind k) {
     case EventKind::kCampaignPhaseEnd: return "campaign-phase-end";
     case EventKind::kCampaignFault: return "campaign-fault";
     case EventKind::kCampaignDone: return "campaign-done";
+    case EventKind::kDisturbance: return "disturbance";
+    case EventKind::kSupAttempt: return "sup-attempt";
+    case EventKind::kSupOutcome: return "sup-outcome";
+    case EventKind::kSupDecision: return "sup-decision";
   }
   return "?";
 }

@@ -41,6 +41,18 @@ enum class EventKind : u8 {
   kCampaignPhaseEnd,    // a = excited so far, b = detected so far
   kCampaignFault,       // cycle = fault index, unit = FaultOutcome, addr = net
   kCampaignDone,        // a = detected, b = simulated faults
+  // On-line supervisor + disturbance injection (src/runtime/; cycle = SoC
+  // tick). The unit field carries the runtime-layer enums by value so this
+  // header stays below src/runtime/ in the layering.
+  kDisturbance,  // unit = runtime::DisturbanceKind, addr = target,
+                 // a = kind detail (bit / stall cycles / irq sources),
+                 // flags bit0 = applied (0 = skipped: no resident target)
+  kSupAttempt,   // unit = rung (0 cached, 1 fallback), addr = entry pc,
+                 // a = routine index, b = attempt number (1-based)
+  kSupOutcome,   // unit = runtime::AttemptStatus, a = routine index,
+                 // b = observed signature (0 on timeout)
+  kSupDecision,  // unit = runtime::Decision, a = routine index,
+                 // b = backoff cycles (retry) / 0
 };
 
 const char* kind_name(EventKind k);

@@ -1,0 +1,72 @@
+#pragma once
+// Strict CLI numeric parsing shared by the detstl tools (stlint, detscope,
+// stlrun). Malformed or out-of-range values are usage errors — reported on
+// stderr with exit code 2 — never silently clamped or ignored.
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace detstl::cli {
+
+/// Parse a decimal (or 0x-prefixed hex) unsigned integer in [lo, hi].
+/// Returns false on garbage, trailing characters, sign or range violation.
+inline bool parse_u64(const std::string& text, unsigned long long lo,
+                      unsigned long long hi, unsigned long long& out) {
+  if (text.empty() || text[0] == '-' || text[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 0);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  if (v < lo || v > hi) return false;
+  out = v;
+  return true;
+}
+
+/// Parse or exit(2) with a diagnostic naming the tool and the option.
+inline unsigned long long require_u64(const char* tool, const char* opt,
+                                      const std::string& text,
+                                      unsigned long long lo,
+                                      unsigned long long hi) {
+  unsigned long long v = 0;
+  if (!parse_u64(text, lo, hi, v)) {
+    std::fprintf(stderr, "%s: %s expects an integer in [%llu, %llu], got '%s'\n",
+                 tool, opt, lo, hi, text.c_str());
+    std::exit(2);
+  }
+  return v;
+}
+
+inline unsigned require_unsigned(const char* tool, const char* opt,
+                                 const std::string& text, unsigned lo,
+                                 unsigned hi) {
+  return static_cast<unsigned>(require_u64(tool, opt, text, lo, hi));
+}
+
+/// Comma-separated list of integers, each in [lo, hi]; empty list or any
+/// malformed entry is a usage error.
+inline std::vector<unsigned> require_unsigned_list(const char* tool,
+                                                   const char* opt,
+                                                   const std::string& text,
+                                                   unsigned lo, unsigned hi) {
+  std::vector<unsigned> out;
+  std::size_t p = 0;
+  while (p <= text.size()) {
+    const std::size_t comma = text.find(',', p);
+    const std::string item =
+        text.substr(p, comma == std::string::npos ? std::string::npos : comma - p);
+    out.push_back(require_unsigned(tool, opt, item, lo, hi));
+    if (comma == std::string::npos) break;
+    p = comma + 1;
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "%s: %s expects a comma-separated integer list\n", tool,
+                 opt);
+    std::exit(2);
+  }
+  return out;
+}
+
+}  // namespace detstl::cli

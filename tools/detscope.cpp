@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_util.h"
 #include "common/table.h"
 #include "core/routines.h"
 #include "core/stl.h"
@@ -53,6 +54,14 @@ void usage(std::FILE* os) {
       "  --beats          include per-word bus data beats in the JSON\n");
 }
 
+bool require_on_off(const char* opt, const std::string& v) {
+  if (v == "on") return true;
+  if (v == "off") return false;
+  std::fprintf(stderr, "detscope: %s expects 'on' or 'off', got '%s'\n", opt,
+               v.c_str());
+  std::exit(2);
+}
+
 const core::RoutineEntry* routine_or_die(const std::string& name) {
   const core::RoutineEntry* e = core::find_routine(name);
   if (e == nullptr) {
@@ -84,19 +93,17 @@ int cmd_run(const std::vector<std::string>& args) {
       return args[++i];
     };
     if (args[i] == "--routine") routine_name = need();
-    else if (args[i] == "--cores") cores = static_cast<unsigned>(std::stoul(need()));
-    else if (args[i] == "--wa") wa = need() == "on";
+    else if (args[i] == "--cores")
+      cores = cli::require_unsigned("detscope", "--cores", need(), 1, 3);
+    else if (args[i] == "--wa") wa = require_on_off("--wa", need());
     else if (args[i] == "--trace") trace_path = need();
     else if (args[i] == "--hits") hits = true;
     else if (args[i] == "--beats") beats = true;
     else {
+      std::fprintf(stderr, "detscope: unknown option '%s'\n", args[i].c_str());
       usage(stderr);
       return 2;
     }
-  }
-  if (cores < 1 || cores > 3) {
-    std::fprintf(stderr, "detscope: --cores must be 1..3\n");
-    return 2;
   }
 
   const auto routine = routine_or_die(routine_name)->make();
@@ -192,8 +199,9 @@ int cmd_audit(const std::vector<std::string>& args) {
       return args[++i];
     };
     if (args[i] == "--routine") routine_name = need();
-    else if (args[i] == "--wa") opts.write_allocate = need() == "on";
+    else if (args[i] == "--wa") opts.write_allocate = require_on_off("--wa", need());
     else {
+      std::fprintf(stderr, "detscope: unknown option '%s'\n", args[i].c_str());
       usage(stderr);
       return 2;
     }
@@ -242,21 +250,18 @@ int cmd_campaign_audit(const std::vector<std::string>& args) {
       else if (m == "hdcu") module = fault::Module::kHdcu;
       else if (m == "icu") module = fault::Module::kIcu;
       else {
+        std::fprintf(stderr,
+                     "detscope: --module expects fwd|hdcu|icu, got '%s'\n",
+                     m.c_str());
         usage(stderr);
         return 2;
       }
     } else if (args[i] == "--threads") {
-      threads.clear();
-      std::string list = need();
-      for (std::size_t p = 0; p < list.size();) {
-        const std::size_t comma = list.find(',', p);
-        threads.push_back(
-            static_cast<unsigned>(std::stoul(list.substr(p, comma - p))));
-        p = comma == std::string::npos ? list.size() : comma + 1;
-      }
+      threads = cli::require_unsigned_list("detscope", "--threads", need(), 1, 256);
     } else if (args[i] == "--stride") {
-      stride = static_cast<u32>(std::stoul(need()));
+      stride = cli::require_unsigned("detscope", "--stride", need(), 1, 1u << 20);
     } else {
+      std::fprintf(stderr, "detscope: unknown option '%s'\n", args[i].c_str());
       usage(stderr);
       return 2;
     }

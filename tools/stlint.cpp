@@ -64,7 +64,11 @@ bool parse(int argc, char** argv, Options& opt) {
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
+      if (i + 1 >= argc) {
+        std::cerr << "stlint: option '" << a << "' requires a value\n";
+        return nullptr;
+      }
+      return argv[++i];
     };
     if (a == "--routine") {
       const char* v = next();
@@ -76,14 +80,21 @@ bool parse(int argc, char** argv, Options& opt) {
       if (!strcmp(v, "plain")) opt.wrapper = core::WrapperKind::kPlain;
       else if (!strcmp(v, "cache")) opt.wrapper = core::WrapperKind::kCacheBased;
       else if (!strcmp(v, "tcm")) opt.wrapper = core::WrapperKind::kTcmBased;
-      else return false;
+      else {
+        std::cerr << "stlint: --wrapper expects plain|cache|tcm, got '" << v
+                  << "'\n";
+        return false;
+      }
     } else if (a == "--wa") {
       const char* v = next();
       if (!v) return false;
       if (!strcmp(v, "on")) opt.wa = 1;
       else if (!strcmp(v, "off")) opt.wa = 0;
       else if (!strcmp(v, "both")) opt.wa = 2;
-      else return false;
+      else {
+        std::cerr << "stlint: --wa expects on|off|both, got '" << v << "'\n";
+        return false;
+      }
     } else if (a == "--perf") {
       opt.perf = true;
     } else if (a == "--core") {
@@ -92,7 +103,10 @@ bool parse(int argc, char** argv, Options& opt) {
       if (!strcmp(v, "A")) opt.kind = isa::CoreKind::kA;
       else if (!strcmp(v, "B")) opt.kind = isa::CoreKind::kB;
       else if (!strcmp(v, "C")) opt.kind = isa::CoreKind::kC;
-      else return false;
+      else {
+        std::cerr << "stlint: --core expects A|B|C, got '" << v << "'\n";
+        return false;
+      }
     } else if (a == "-q" || a == "--quiet") {
       opt.quiet = true;
     } else if (a == "-v" || a == "--verbose") {

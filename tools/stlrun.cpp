@@ -1,0 +1,199 @@
+// stlrun — fault-tolerant on-line STL supervisor driver.
+//
+// Runs seeded disturbance campaigns against the cache-wrapped self-test
+// routines and prints the per-core recovery report. The report and the
+// campaign outcome vector are deterministic for a fixed seed at any thread
+// count; --verify-threads re-runs the campaign at several thread counts and
+// fails (exit 1) unless the outcome vectors are byte-identical.
+//
+// Exit codes: 0 success, 1 determinism mismatch, 2 usage / setup error.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "cli_util.h"
+#include "common/table.h"
+#include "core/stl.h"
+#include "runtime/campaign.h"
+
+namespace {
+
+using namespace detstl;
+using namespace detstl::runtime;
+
+constexpr const char* kTool = "stlrun";
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+      "usage: stlrun <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  campaign     run a seeded disturbance campaign, print the recovery report\n"
+      "  list-kinds   list disturbance kinds and registered routines\n"
+      "\n"
+      "campaign options:\n"
+      "  --seed N               master seed (default 0xd15b0001)\n"
+      "  --runs N               supervised runs, 1..100000 (default 16)\n"
+      "  --threads N            worker threads, 0 = hardware threads (default 0)\n"
+      "  --verify-threads LIST  run at each thread count in LIST (e.g. 1,2,8);\n"
+      "                         exit 1 unless outcome vectors are byte-identical\n"
+      "  --cores N              active cores, 1..3 (default 3)\n"
+      "  --routine NAME         registry routine, repeatable (default built-in mix)\n"
+      "  --events N             disturbances per run, 0..1000 (default 6)\n"
+      "  --permanent PCT        chance of a permanent flash fault per run, 0..100\n"
+      "  --stall N              bus-stall burst cycles, 1..100000 (default 150)\n"
+      "  --margin PCT           watchdog interference margin, 0..10000 (default 250)\n"
+      "  --attempts N           cached-rung attempts, 1..16 (default 3)\n"
+      "  --fallback-attempts N  fallback-rung attempts, 0..16 (default 2)\n"
+      "  --digest-only          print only the outcome digest line\n");
+}
+
+int cmd_list_kinds() {
+  std::printf("disturbance kinds:\n");
+  for (unsigned k = 0; k < kNumDisturbanceKinds; ++k)
+    std::printf("  %s%s\n", disturbance_name(static_cast<DisturbanceKind>(k)),
+                static_cast<DisturbanceKind>(k) == DisturbanceKind::kFlashCorrupt
+                    ? " (permanent; drawn via --permanent)"
+                    : "");
+  std::printf("routines:\n");
+  for (const core::RoutineEntry& e : core::routine_registry())
+    std::printf("  %s\n", e.name);
+  return 0;
+}
+
+int cmd_campaign(int argc, char** argv) {
+  CampaignSpec spec;
+  std::vector<unsigned> verify_threads;
+  bool digest_only = false;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s requires a value\n", kTool, a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--seed") {
+      spec.seed = cli::require_u64(kTool, "--seed", need(), 0, ~0ull);
+    } else if (a == "--runs") {
+      spec.runs = cli::require_unsigned(kTool, "--runs", need(), 1, 100'000);
+    } else if (a == "--threads") {
+      spec.threads = cli::require_unsigned(kTool, "--threads", need(), 0, 256);
+    } else if (a == "--verify-threads") {
+      verify_threads =
+          cli::require_unsigned_list(kTool, "--verify-threads", need(), 1, 256);
+    } else if (a == "--cores") {
+      spec.cores = cli::require_unsigned(kTool, "--cores", need(), 1, 3);
+    } else if (a == "--routine") {
+      spec.routines.push_back(need());
+    } else if (a == "--events") {
+      spec.disturb.count = cli::require_unsigned(kTool, "--events", need(), 0, 1'000);
+    } else if (a == "--permanent") {
+      spec.disturb.permanent_chance =
+          cli::require_unsigned(kTool, "--permanent", need(), 0, 100) / 100.0;
+    } else if (a == "--stall") {
+      spec.disturb.stall_cycles =
+          cli::require_unsigned(kTool, "--stall", need(), 1, 100'000);
+    } else if (a == "--margin") {
+      spec.supervisor.margin_percent =
+          cli::require_unsigned(kTool, "--margin", need(), 0, 10'000);
+    } else if (a == "--attempts") {
+      spec.supervisor.max_attempts =
+          cli::require_unsigned(kTool, "--attempts", need(), 1, 16);
+    } else if (a == "--fallback-attempts") {
+      spec.supervisor.fallback_attempts =
+          cli::require_unsigned(kTool, "--fallback-attempts", need(), 0, 16);
+    } else if (a == "--digest-only") {
+      digest_only = true;
+    } else if (a == "--help" || a == "-h") {
+      usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", kTool, a.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  if (verify_threads.empty()) {
+    const CampaignResult res = run_disturbance_campaign(spec);
+    if (digest_only)
+      std::printf("outcome digest: %s\n", TextTable::fmt_hex(res.digest()).c_str());
+    else
+      std::fputs(render_recovery_report(res).c_str(), stdout);
+    std::fprintf(stderr, "%s: %u runs on %u thread(s) in %.2fs\n", kTool,
+                 res.runs, res.threads_used, res.wall_seconds);
+    return 0;
+  }
+
+  // Determinism self-check: same spec at each requested thread count must
+  // produce byte-identical outcome vectors (and therefore reports).
+  std::vector<u8> reference;
+  std::string reference_report;
+  for (std::size_t t = 0; t < verify_threads.size(); ++t) {
+    CampaignSpec s = spec;
+    s.threads = verify_threads[t];
+    const CampaignResult res = run_disturbance_campaign(s);
+    std::fprintf(stderr, "%s: threads=%u digest=%s (%.2fs)\n", kTool,
+                 res.threads_used, TextTable::fmt_hex(res.digest()).c_str(),
+                 res.wall_seconds);
+    if (t == 0) {
+      reference = res.outcome_vector();
+      reference_report = render_recovery_report(res);
+      continue;
+    }
+    if (res.outcome_vector() != reference ||
+        render_recovery_report(res) != reference_report) {
+      std::fprintf(stderr,
+                   "%s: DETERMINISM VIOLATION: threads=%u diverges from "
+                   "threads=%u\n",
+                   kTool, verify_threads[t], verify_threads[0]);
+      return 1;
+    }
+  }
+  if (digest_only) {
+    // Digest of the verified reference vector.
+    u64 h = 0xcbf29ce484222325ull;
+    for (const u8 b : reference) {
+      h ^= b;
+      h *= 0x100000001b3ull;
+    }
+    std::printf("outcome digest: %s\n", TextTable::fmt_hex(h).c_str());
+  } else {
+    std::fputs(reference_report.c_str(), stdout);
+  }
+  std::string counts;
+  for (std::size_t t = 0; t < verify_threads.size(); ++t)
+    counts += (t == 0 ? "" : ",") + std::to_string(verify_threads[t]);
+  std::printf("determinism: outcome vector byte-identical across threads {%s}\n",
+              counts.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(stderr);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "campaign") return cmd_campaign(argc - 2, argv + 2);
+    if (cmd == "list-kinds") return cmd_list_kinds();
+    if (cmd == "--help" || cmd == "-h") {
+      usage(stdout);
+      return 0;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", kTool, e.what());
+    return 2;
+  }
+  std::fprintf(stderr, "%s: unknown command '%s'\n", kTool, cmd.c_str());
+  usage(stderr);
+  return 2;
+}
