@@ -17,7 +17,9 @@ int main(int argc, char** argv) {
                       "3: 1,878,336 / 663,386");
 
   const unsigned samples = bench::env_unsigned("DETSTL_STAGGERS", 3);
-  const auto rows = exp::run_table1(samples, bench::exec_options(opts, tracer.get()));
+  const auto rows = bench::run_resumable([&] {
+    return exp::run_table1(samples, bench::exec_options(opts, tracer.get()));
+  });
 
   TextTable t("Multi-core STL execution: stalls due to the memory subsystem");
   t.header({"# Active Cores", "IF Stalls [clock cycles]", "MEM Stalls [clock cycles]"});

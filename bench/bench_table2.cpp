@@ -26,7 +26,9 @@ int main(int argc, char** argv) {
   const unsigned stride = bench::env_unsigned("DETSTL_FAULT_STRIDE", 1);
   const unsigned scenarios = bench::env_unsigned("DETSTL_SCENARIOS", 0);
   const auto t0 = std::chrono::steady_clock::now();
-  const auto rows = exp::run_table2(stride, scenarios, bench::exec_options(opts, tracer.get()));
+  const auto rows = bench::run_resumable([&] {
+    return exp::run_table2(stride, scenarios, bench::exec_options(opts, tracer.get()));
+  });
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 

@@ -23,7 +23,9 @@ int main(int argc, char** argv) {
       "TCM-based: 2,874 B overhead, 16,463 cycles; cache-based: 0 B, 18,043 "
       "cycles (8.25us @180MHz difference)");
 
-  const auto rows = exp::run_table4(bench::exec_options(opts, tracer.get()));
+  const auto rows = bench::run_resumable([&] {
+    return exp::run_table4(bench::exec_options(opts, tracer.get()));
+  });
 
   TextTable t("TCM-based versus cache-based approaches");
   t.header({"Approach", "Overall Memory Overhead [bytes]",

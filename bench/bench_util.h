@@ -40,6 +40,13 @@ struct BenchOptions {
   bool progress = false;    // --progress: live campaign progress on stderr
   unsigned threads = 0;     // --threads N / DETSTL_THREADS (0 = all cores)
   std::string trace_path;   // --trace FILE: Chrome-trace JSON of the run
+  // Crash-safe checkpoint/resume (fault/checkpoint.h); see the exit-code
+  // contract in tools/cli_util.h — an interrupted bench exits 3 (resumable).
+  std::string checkpoint_dir;      // --checkpoint-dir DIR (empty = off)
+  unsigned checkpoint_interval = 256;  // --checkpoint-interval N
+  bool resume = false;             // --resume
+  bool no_fsync = false;           // --no-fsync
+  unsigned interrupt_after = 0;    // --interrupt-after N (drain drill)
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -52,11 +59,29 @@ inline BenchOptions parse_options(int argc, char** argv) {
       o.threads = parse_unsigned_or_die("--threads", argv[++i]);
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       o.trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0 && i + 1 < argc) {
+      o.checkpoint_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint-interval") == 0 && i + 1 < argc) {
+      o.checkpoint_interval =
+          parse_unsigned_or_die("--checkpoint-interval", argv[++i]);
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      o.resume = true;
+    } else if (std::strcmp(argv[i], "--no-fsync") == 0) {
+      o.no_fsync = true;
+    } else if (std::strcmp(argv[i], "--interrupt-after") == 0 && i + 1 < argc) {
+      o.interrupt_after = parse_unsigned_or_die("--interrupt-after", argv[++i]);
     } else {
-      std::fprintf(stderr, "usage: %s [--progress] [--threads N] [--trace FILE]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--progress] [--threads N] [--trace FILE]\n"
+                   "          [--checkpoint-dir DIR [--checkpoint-interval N]\n"
+                   "           [--resume] [--no-fsync] [--interrupt-after N]]\n",
                    argv[0]);
       std::exit(2);
     }
+  }
+  if (o.resume && o.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "error: --resume requires --checkpoint-dir\n");
+    std::exit(2);
   }
   // Probe the trace path up front: a bench can run for minutes, and an
   // unwritable destination should fail before the campaign, not after it.
@@ -133,7 +158,37 @@ inline exp::ExecOptions exec_options(const BenchOptions& o,
       std::fprintf(stderr, "\r%s\033[K\n", line.c_str());
     };
   }
+  if (!o.checkpoint_dir.empty()) {
+    e.checkpoint.dir = o.checkpoint_dir;
+    e.checkpoint.interval = o.checkpoint_interval;
+    e.checkpoint.resume = o.resume;
+    e.checkpoint.fsync =
+        o.no_fsync ? fault::FsyncPolicy::kNone : fault::FsyncPolicy::kEveryShard;
+  }
+  if (!o.checkpoint_dir.empty() || o.interrupt_after != 0) {
+    e.interrupt = &fault::global_interrupt();
+    e.interrupt->clear();
+    if (o.interrupt_after != 0) e.interrupt->arm_after(o.interrupt_after);
+    fault::install_drain_handlers();
+  }
   return e;
+}
+
+/// Run a table driver under the exit-code contract (tools/cli_util.h): a
+/// cooperative drain exits 3 (interrupted but resumable — the journalled
+/// prefix is intact), a checkpoint rejected on config/netlist/image mismatch
+/// exits 2 (usage/setup error).
+template <typename Fn>
+auto run_resumable(Fn&& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const fault::Interrupted& e) {
+    std::fprintf(stderr, "\ninterrupted but resumable: %s\n", e.what());
+    std::exit(3);
+  } catch (const fault::CheckpointMismatch& e) {
+    std::fprintf(stderr, "checkpoint rejected: %s\n", e.what());
+    std::exit(2);
+  }
 }
 
 inline void print_header(const char* exhibit, const char* paper_numbers) {

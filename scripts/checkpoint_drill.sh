@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# Kill-and-resume drill for the crash-safe checkpoint subsystem
+# (docs/fault_simulation.md "Checkpoint/resume").
+#
+# Three legs, each ending in a byte-for-byte diff against an uninterrupted
+# reference run of the same seeded stlrun disturbance campaign:
+#
+#   1. deterministic kill point (--interrupt-after): the run drains after N
+#      completed runs and exits 3 (resumable); --resume completes it;
+#   2. corruption recovery: a shard of that checkpoint is bit-flipped before
+#      a second resume — it must be quarantined to *.corrupt and its runs
+#      re-executed, still converging to the reference;
+#   3. real SIGTERM mid-run: the signal handler requests a cooperative
+#      drain; resume completes the campaign. (If the signal lands after the
+#      last run finished, the run exits 0 with the full report — also fine.)
+#
+# Usage: scripts/checkpoint_drill.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+STLRUN="$BUILD/tools/stlrun"
+if [ ! -x "$STLRUN" ]; then
+  echo "checkpoint-drill: $STLRUN not found; build the stlrun target first" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+# One campaign, used by every leg. Big enough that a SIGTERM after a short
+# sleep lands mid-run; small enough for CI.
+ARGS=(campaign --seed 0xd171 --runs 200 --cores 3 --events 8 --permanent 30
+      --threads 2)
+
+echo "== reference: uninterrupted run"
+"$STLRUN" "${ARGS[@]}" > "$WORK/reference.txt"
+
+echo "== leg 1: deterministic kill after 50 runs, then resume"
+rc=0
+"$STLRUN" "${ARGS[@]}" --checkpoint-dir "$WORK/ckpt" --checkpoint-interval 16 \
+    --interrupt-after 50 > /dev/null || rc=$?
+if [ "$rc" -ne 3 ]; then
+  echo "checkpoint-drill: expected resumable exit 3, got $rc" >&2
+  exit 1
+fi
+"$STLRUN" "${ARGS[@]}" --checkpoint-dir "$WORK/ckpt" --resume \
+    > "$WORK/resumed.txt"
+diff "$WORK/reference.txt" "$WORK/resumed.txt"
+echo "   resumed run is byte-identical to the reference"
+
+echo "== leg 2: bit-flip a shard, resume must quarantine and re-execute"
+rc=0
+"$STLRUN" "${ARGS[@]}" --checkpoint-dir "$WORK/ckpt2" --checkpoint-interval 16 \
+    --interrupt-after 60 > /dev/null || rc=$?
+[ "$rc" -eq 3 ] || { echo "checkpoint-drill: expected exit 3, got $rc" >&2; exit 1; }
+SHARD="$WORK/ckpt2/shard-000000.ckpt"
+[ -f "$SHARD" ] || { echo "checkpoint-drill: $SHARD missing" >&2; exit 1; }
+# Offset 60 sits inside the first record's payload framing (header is 56
+# bytes) — any flip there must fail the payload checksum.
+printf '\xff' | dd of="$SHARD" bs=1 seek=60 conv=notrunc status=none
+"$STLRUN" "${ARGS[@]}" --checkpoint-dir "$WORK/ckpt2" --resume \
+    > "$WORK/resumed2.txt" 2> "$WORK/resumed2.err"
+grep -q "corrupt" "$WORK/resumed2.err" || {
+  echo "checkpoint-drill: resume stderr did not mention the corrupt shard" >&2
+  cat "$WORK/resumed2.err" >&2
+  exit 1
+}
+[ -f "$SHARD.corrupt" ] || {
+  echo "checkpoint-drill: corrupt shard was not quarantined" >&2
+  exit 1
+}
+diff "$WORK/reference.txt" "$WORK/resumed2.txt"
+echo "   corrupt shard quarantined; result still byte-identical"
+
+echo "== leg 3: real SIGTERM mid-run, then resume"
+"$STLRUN" "${ARGS[@]}" --checkpoint-dir "$WORK/ckpt3" --checkpoint-interval 16 \
+    > "$WORK/killed3.txt" 2> /dev/null &
+PID=$!
+sleep 0.5
+kill -TERM "$PID" 2> /dev/null || true
+rc=0
+wait "$PID" || rc=$?
+case "$rc" in
+  3)
+    "$STLRUN" "${ARGS[@]}" --checkpoint-dir "$WORK/ckpt3" --resume \
+        > "$WORK/resumed3.txt"
+    diff "$WORK/reference.txt" "$WORK/resumed3.txt"
+    echo "   SIGTERM drained cooperatively; resume is byte-identical"
+    ;;
+  0)
+    # The campaign outran the signal — its own complete report must match.
+    diff "$WORK/reference.txt" "$WORK/killed3.txt"
+    echo "   campaign finished before the signal landed (still identical)"
+    ;;
+  *)
+    echo "checkpoint-drill: expected exit 3 (or 0), got $rc" >&2
+    exit 1
+    ;;
+esac
+
+echo "checkpoint-drill: OK"

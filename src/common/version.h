@@ -1,0 +1,10 @@
+#pragma once
+// Single source of the suite version. Recorded by checkpoint manifests
+// (fault/checkpoint.cpp) and printed by every tool's --version so CI
+// artifacts and on-disk checkpoints can name the producing binary.
+
+namespace detstl {
+
+inline constexpr const char* kDetstlVersion = "0.5.0";
+
+}  // namespace detstl

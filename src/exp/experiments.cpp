@@ -237,9 +237,12 @@ std::vector<Table1Row> run_table1(unsigned stagger_samples, const ExecOptions& o
 
 namespace {
 
-/// Shared campaign-configuration boilerplate of the table drivers.
+/// Shared campaign-configuration boilerplate of the table drivers. `leaf`
+/// names this campaign's checkpoint subdirectory under the ExecOptions
+/// checkpoint root (must be unique per campaign within one bench run).
 fault::CampaignConfig table_campaign_config(fault::Module module, unsigned graded,
                                             u32 fault_stride, bool from_marker,
+                                            const std::string& leaf,
                                             const ExecOptions& opts) {
   fault::CampaignConfig cc;
   cc.module = module;
@@ -250,7 +253,27 @@ fault::CampaignConfig table_campaign_config(fault::Module module, unsigned grade
   cc.threads = opts.threads;
   cc.progress = opts.progress;
   cc.sink = opts.sink;
+  cc.interrupt = opts.interrupt;
+  if (opts.checkpoint.enabled()) {
+    cc.checkpoint = opts.checkpoint;
+    std::string s = leaf;
+    for (char& ch : s)
+      if (ch == '/' || ch == ' ') ch = '-';
+    cc.checkpoint.dir += "/" + s;
+    // Bench-level --resume is per campaign: campaigns the interrupted run
+    // never reached have no manifest yet and start fresh.
+    cc.checkpoint.resume =
+        opts.checkpoint.resume && fault::checkpoint_present(cc.checkpoint);
+  }
   return cc;
+}
+
+/// Stop a multi-campaign table bench at the first drained campaign: the
+/// completed prefix is journalled; later campaigns resume untouched.
+void throw_if_interrupted(const fault::CampaignResult& res) {
+  if (res.ckpt.interrupted)
+    throw fault::Interrupted(
+        "fault campaign drained mid-run; re-run with --resume to continue");
 }
 
 std::string fc_log_line(char core, const Scenario& sc, double fc) {
@@ -278,10 +301,12 @@ std::vector<Table2Row> run_table2(u32 fault_stride, unsigned max_scenarios,
     for (const Scenario& sc : grid) {
       auto tests = build_scenario_tests(*routine, WrapperKind::kPlain, sc, graded,
                                         /*use_pcs=*/false);
-      const auto cc = table_campaign_config(fault::Module::kFwd, graded,
-                                            fault_stride, false, opts);
+      const auto cc = table_campaign_config(
+          fault::Module::kFwd, graded, fault_stride, false,
+          std::string("t2-nocache-") + row.core + "-" + sc.label, opts);
       fault::Campaign campaign(cc, scenario_factory(std::move(tests), sc, graded));
       const auto res = campaign.run();
+      throw_if_interrupted(res);
       row.faults = res.simulated_faults;
       row.fc_min = std::min(row.fc_min, res.coverage_percent());
       row.fc_max = std::max(row.fc_max, res.coverage_percent());
@@ -295,10 +320,12 @@ std::vector<Table2Row> run_table2(u32 fault_stride, unsigned max_scenarios,
       auto tests = build_scenario_tests(*routine, WrapperKind::kCacheBased, sc, graded,
                                         /*use_pcs=*/false);
       // Cache-based: the loading loop's signatures are unchecked.
-      const auto cc = table_campaign_config(fault::Module::kFwd, graded,
-                                            fault_stride, true, opts);
+      const auto cc = table_campaign_config(
+          fault::Module::kFwd, graded, fault_stride, true,
+          std::string("t2-cached-") + row.core + "-" + sc.label, opts);
       fault::Campaign campaign(cc, scenario_factory(std::move(tests), sc, graded));
       const auto res = campaign.run();
+      throw_if_interrupted(res);
       row.fc_cached = res.coverage_percent();
       cached_fcs.insert(std::lround(res.coverage_percent() * 1000));
       if (opts.log) opts.log(fc_log_line(row.core, sc, res.coverage_percent()));
@@ -319,10 +346,14 @@ double campaign_fc(const core::SelfTestRoutine& r, WrapperKind w, const Scenario
                    unsigned graded, bool use_pcs, fault::Module module,
                    u32 fault_stride, u64& faults_out, const ExecOptions& opts) {
   auto tests = build_scenario_tests(r, w, sc, graded, use_pcs);
-  const auto cc = table_campaign_config(module, graded, fault_stride,
-                                        w == WrapperKind::kCacheBased, opts);
+  const auto cc = table_campaign_config(
+      module, graded, fault_stride, w == WrapperKind::kCacheBased,
+      std::string("t3-") + fault::module_name(module) + "-" +
+          static_cast<char>('A' + graded) + "-" + sc.label,
+      opts);
   fault::Campaign campaign(cc, scenario_factory(std::move(tests), sc, graded));
   const auto res = campaign.run();
+  throw_if_interrupted(res);
   faults_out = res.simulated_faults;
   if (opts.log)
     opts.log(fc_log_line(static_cast<char>('A' + graded), sc,

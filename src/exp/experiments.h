@@ -61,6 +61,15 @@ struct ExecOptions {
   /// detscope event sink forwarded to every fault campaign (the benches wire
   /// `--trace FILE` onto this; null = tracing off).
   trace::EventSink* sink = nullptr;
+  /// Crash-safe checkpoint root (fault/checkpoint.h): every fault campaign a
+  /// table driver launches journals into its own subdirectory
+  /// `<dir>/<campaign-label>`, so one bench invocation can hold many
+  /// independent campaign checkpoints. Empty dir = off.
+  fault::CheckpointConfig checkpoint;
+  /// Cooperative drain request forwarded to every fault campaign. A drained
+  /// campaign makes the table driver throw fault::Interrupted, so the bench
+  /// stops at the first interrupted campaign and exits resumable (exit 3).
+  fault::InterruptToken* interrupt = nullptr;
 };
 
 // -----------------------------------------------------------------------------

@@ -218,6 +218,48 @@ void run_pool(unsigned threads, const std::function<void(unsigned)>& body) {
 
 }  // namespace
 
+std::vector<u8> CampaignResult::canonical_bytes() const {
+  std::vector<u8> out;
+  out.reserve(10 * 8 + outcomes.size());
+  const auto p64 = [&out](u64 v) {
+    for (int i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+  };
+  const auto p32 = [&out](u32 v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+  };
+  p64(total_faults);
+  p64(simulated_faults);
+  p64(excited);
+  p64(detected);
+  p64(detected_signature);
+  p64(detected_verdict);
+  p64(detected_watchdog);
+  p64(good_cycles);
+  p32(good_verdict.status);
+  p32(good_verdict.signature);
+  p64(outcomes.size());
+  for (const FaultOutcome o : outcomes) out.push_back(static_cast<u8>(o));
+  return out;
+}
+
+u64 checkpoint_config_hash(const CampaignConfig& cfg, const netlist::Netlist& nl,
+                           const soc::Soc& soc) {
+  ConfigHasher h;
+  h.u32v(kCheckpointSchemaVersion)
+      .u32v(static_cast<u32>(PayloadKind::kFaultOutcomes))
+      .u8v(static_cast<u8>(cfg.module))
+      .u32v(cfg.core_id)
+      .u8v(static_cast<u8>(cfg.kind))
+      .u32v(cfg.mailbox != 0 ? cfg.mailbox : soc::mailbox_addr(cfg.core_id))
+      .u64v(cfg.max_cycles)
+      .u32v(cfg.checkpoint_every)
+      .u32v(cfg.fault_stride)
+      .u8v(cfg.signature_from_marker ? 1 : 0)
+      .u64v(netlist_fingerprint(nl))
+      .u64v(soc_image_fingerprint(soc));
+  return h.digest();
+}
+
 Campaign::Campaign(const CampaignConfig& cfg, SocFactory factory)
     : cfg_(cfg), factory_(std::move(factory)) {}
 
@@ -270,11 +312,32 @@ CampaignResult Campaign::run() {
       break;
   }
 
+  // --- Crash-safe checkpoint/resume setup (fault/checkpoint.h) -----------------
+  // The manifest hash binds the on-disk checkpoint to this exact campaign:
+  // netlist identity + routine image + every outcome-relevant config field.
+  // The factory's SoC serves both the fingerprint and the good run below.
+  soc::Soc good = factory_();
+  LoadedCheckpoint loaded;
+  std::optional<CheckpointWriter> writer;
+  const auto stop_requested = [this] {
+    return cfg_.interrupt != nullptr && cfg_.interrupt->stop_requested();
+  };
+  if (cfg_.checkpoint.enabled()) {
+    const u64 hash = checkpoint_config_hash(cfg_, *nl, good);
+    if (cfg_.checkpoint.resume)
+      loaded = load_checkpoint(cfg_.checkpoint, PayloadKind::kFaultOutcomes, hash,
+                               cfg_.sink);
+    writer.emplace(cfg_.checkpoint, PayloadKind::kFaultOutcomes, hash,
+                   loaded.next_shard, cfg_.sink);
+    res.ckpt.enabled = true;
+    res.ckpt.shards_loaded = loaded.shards_loaded;
+    res.ckpt.shards_corrupt = loaded.shards_corrupt;
+  }
+
   // --- Phase 0: good run with trace recording + checkpoints ---------------------
   tracker.begin_phase(CampaignPhase::kGoodRun, 0);
   emit_phase(trace::EventKind::kCampaignPhaseBegin, CampaignPhase::kGoodRun, 0, 0);
   RecorderTap rec(cfg_.module);
-  soc::Soc good = factory_();
   // The good run traces live (it is serial); checkpoints copy the sink
   // pointer, so detect_one clears it on every restored replica.
   good.set_trace_sink(cfg_.sink);
@@ -311,6 +374,23 @@ CampaignResult Campaign::run() {
     if ((i / 2) % cfg_.fault_stride == 0) faults.push_back(all_faults[i]);
   res.simulated_faults = faults.size();
 
+  // Apply resumed records: each holds one FaultOutcome byte for a completed
+  // fault. Out-of-range indices or malformed payloads are dropped (those
+  // faults simply re-execute) — the hash-verified manifest makes them
+  // unreachable short of corruption the shard checksums already screen for.
+  res.outcomes.assign(faults.size(), FaultOutcome::kNotExcited);
+  std::vector<u8> done(faults.size(), 0);
+  for (const ShardRecord& r : loaded.records) {
+    if (r.index >= faults.size() || r.payload.size() != 1 ||
+        r.payload[0] > static_cast<u8>(FaultOutcome::kUndetected))
+      continue;
+    if (done[r.index] == 0) {
+      done[r.index] = 1;
+      ++res.ckpt.records_resumed;
+    }
+    res.outcomes[r.index] = static_cast<FaultOutcome>(r.payload[0]);
+  }
+
   // Encodes the c-th recorded module call into a screening state.
   const auto encode_call = [&](std::size_t c, netlist::EvalState& st) {
     switch (cfg_.module) {
@@ -328,17 +408,65 @@ CampaignResult Campaign::run() {
   const std::size_t ngroups = LaneGroupScreen::num_groups(faults.size());
   std::vector<std::size_t> first_div(faults.size(), SIZE_MAX);
 
+  // Every aggregate derives from the merged outcomes vector (plus the
+  // screening verdict for faults detection has not reached), so the result
+  // is identical for any thread count, straight or resumed. A resumed fault
+  // (done) is excited iff its recorded outcome says so — detection never
+  // records kNotExcited for an excited fault, so the derivation is exact.
+  const auto merge_aggregates = [&] {
+    res.excited = 0;
+    res.detected_signature = res.detected_verdict = res.detected_watchdog = 0;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      res.excited += done[i] != 0
+                         ? res.outcomes[i] != FaultOutcome::kNotExcited
+                         : first_div[i] != SIZE_MAX;
+      switch (res.outcomes[i]) {
+        case FaultOutcome::kNotExcited:
+        case FaultOutcome::kUndetected:
+          break;
+        case FaultOutcome::kDetectedSignature: ++res.detected_signature; break;
+        case FaultOutcome::kDetectedVerdict: ++res.detected_verdict; break;
+        case FaultOutcome::kDetectedWatchdog: ++res.detected_watchdog; break;
+      }
+    }
+    res.detected =
+        res.detected_signature + res.detected_verdict + res.detected_watchdog;
+  };
+
+  // Common tail of the complete and the drained (interrupted) exit paths:
+  // journal everything completed so far and stamp the wall clock.
+  const auto finish = [&](bool interrupted) {
+    if (writer) {
+      writer->flush();
+      res.ckpt.shards_flushed = writer->shards_flushed();
+    }
+    res.ckpt.interrupted = interrupted;
+    res.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
+            .count();
+  };
+
   tracker.begin_phase(CampaignPhase::kScreening, ngroups);
   emit_phase(trace::EventKind::kCampaignPhaseBegin, CampaignPhase::kScreening,
              static_cast<u32>(ngroups), static_cast<u32>(ngroups >> 32));
   WorkQueue group_queue(ngroups, 1);
   run_pool(std::min<std::size_t>(threads, std::max<std::size_t>(1, ngroups)),
            [&](unsigned w) {
-    while (const auto chunk = group_queue.next()) {
+    while (!stop_requested()) {
+      const auto chunk = group_queue.next();
+      if (!chunk) return;
       for (std::size_t g = chunk->begin; g < chunk->end; ++g) {
         const std::size_t base = g * LaneGroupScreen::kLanesPerGroup;
         const std::size_t n = std::min<std::size_t>(
             LaneGroupScreen::kLanesPerGroup, faults.size() - base);
+        // A resumed checkpoint already records every outcome in this group;
+        // its screening verdicts could change nothing, skip the replay.
+        if (std::all_of(done.begin() + static_cast<std::ptrdiff_t>(base),
+                        done.begin() + static_cast<std::ptrdiff_t>(base + n),
+                        [](u8 d) { return d != 0; })) {
+          tracker.add(w, 1);
+          continue;
+        }
         LaneGroupScreen screen(*nl, *outs, {faults.data() + base, n});
         for (std::size_t c = 0; c < ncalls && !screen.done(); ++c) {
           encode_call(c, screen.state());
@@ -353,17 +481,21 @@ CampaignResult Campaign::run() {
         tracker.add(w, 1, excited_here);
       }
     }
+    group_queue.halt();
   });
   tracker.end_phase();
 
-  const u64 total_excited =
-      static_cast<u64>(std::count_if(first_div.begin(), first_div.end(),
-                                     [](std::size_t d) { return d != SIZE_MAX; }));
+  merge_aggregates();
+  if (stop_requested()) {
+    // Drained during screening: nothing new completed, but the resumed
+    // outcomes (and their aggregates) are preserved in the partial result.
+    finish(true);
+    return res;
+  }
   emit_phase(trace::EventKind::kCampaignPhaseEnd, CampaignPhase::kScreening,
-             static_cast<u32>(total_excited), 0);
+             static_cast<u32>(res.excited), 0);
 
   // --- Phase 2: detection of excited faults, sharded by fault index ---------------
-  res.outcomes.assign(faults.size(), FaultOutcome::kNotExcited);
   const u64 watchdog = res.good_cycles * 2 + 10'000;
 
   // Re-simulate fault i from its checkpoint; pure function of immutable
@@ -424,39 +556,44 @@ CampaignResult Campaign::run() {
   // Small chunks: per-fault cost is wildly uneven (a watchdog fault costs
   // 2x the good run; a non-excited one is a single branch), and the queue's
   // fetch_add is nanoseconds against milliseconds of simulation.
-  WorkQueue fault_queue(faults.size(), 4);
+  WorkQueue fault_queue(faults.size(), 4, &done);
   run_pool(std::min<std::size_t>(threads, std::max<std::size_t>(1, faults.size())),
            [&](unsigned w) {
-    while (const auto chunk = fault_queue.next()) {
+    while (!stop_requested()) {
+      const auto chunk = fault_queue.next();
+      if (!chunk) return;
       u64 excited_here = 0, detected_here = 0;
       for (std::size_t i = chunk->begin; i < chunk->end; ++i) {
-        if (first_div[i] == SIZE_MAX) continue;
-        const FaultOutcome out = detect_one(i);
+        if (done[i] != 0) continue;  // resumed shard already records this fault
         // Workers write disjoint elements; counters are recomputed from the
         // outcomes vector after the join so the result is order-independent.
+        // Non-excited faults are journalled too (a 1-byte kNotExcited
+        // record): a resumed run must know they are complete.
+        const FaultOutcome out =
+            first_div[i] == SIZE_MAX ? FaultOutcome::kNotExcited : detect_one(i);
         res.outcomes[i] = out;
-        ++excited_here;
-        detected_here += out != FaultOutcome::kUndetected;
+        if (writer) writer->add(i, {static_cast<u8>(out)});
+        if (cfg_.interrupt != nullptr) cfg_.interrupt->on_unit_complete();
+        if (out != FaultOutcome::kNotExcited) {
+          ++excited_here;
+          detected_here += out != FaultOutcome::kUndetected;
+        }
       }
       tracker.add(w, chunk->size(), excited_here, detected_here);
     }
+    fault_queue.halt();
   });
   tracker.end_phase();
 
   // --- Deterministic merge: every aggregate derives from outcomes ----------------
-  res.excited = total_excited;
-  for (const FaultOutcome out : res.outcomes) {
-    switch (out) {
-      case FaultOutcome::kNotExcited:
-      case FaultOutcome::kUndetected:
-        break;
-      case FaultOutcome::kDetectedSignature: ++res.detected_signature; break;
-      case FaultOutcome::kDetectedVerdict: ++res.detected_verdict; break;
-      case FaultOutcome::kDetectedWatchdog: ++res.detected_watchdog; break;
-    }
+  merge_aggregates();
+  if (stop_requested()) {
+    // Cooperative drain: in-flight chunks finished and everything completed
+    // is journalled. No phase-end / per-fault events — a partial stream is
+    // outside the determinism contract by definition.
+    finish(true);
+    return res;
   }
-  res.detected =
-      res.detected_signature + res.detected_verdict + res.detected_watchdog;
   emit_phase(trace::EventKind::kCampaignPhaseEnd, CampaignPhase::kDetection,
              static_cast<u32>(res.excited), static_cast<u32>(res.detected));
 
@@ -477,9 +614,7 @@ CampaignResult Campaign::run() {
                             .kind = trace::EventKind::kCampaignDone,
                             .a = static_cast<u32>(res.detected),
                             .b = static_cast<u32>(res.simulated_faults)});
-  res.wall_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
-          .count();
+  finish(false);
   return res;
 }
 

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/wrapper.h"
+#include "fault/checkpoint.h"
 #include "fault/progress.h"
 #include "netlist/adapters.h"
 #include "soc/soc.h"
@@ -68,6 +69,18 @@ struct CampaignConfig {
   /// worker pool joins, in fault-index order with a sequence-number clock —
   /// so the stream is byte-identical for every `threads` value.
   trace::EventSink* sink = nullptr;
+  /// Crash-safe checkpoint/journal (fault/checkpoint.h). With a directory
+  /// set, completed fault outcomes are persisted into checksummed shards
+  /// every `checkpoint.interval` faults; with `checkpoint.resume` the
+  /// campaign loads the verified shards first and only simulates the
+  /// remainder. Neither affects the (completed) result: straight and
+  /// resumed runs are byte-identical.
+  CheckpointConfig checkpoint;
+  /// Cooperative drain request (fault/checkpoint.h). Workers stop claiming
+  /// work once it fires, finish in-flight faults, flush a final shard and
+  /// the campaign returns a partial result with ckpt.interrupted set.
+  /// Null = never interrupted. Not part of the config hash.
+  InterruptToken* interrupt = nullptr;
 };
 
 /// The scenario under grade: builds a fresh SoC with all programs loaded and
@@ -95,6 +108,9 @@ struct CampaignResult {
   std::vector<FaultOutcome> outcomes;  // per simulated fault
   double wall_seconds = 0;  // host wall-clock of the whole campaign
   unsigned threads_used = 0;  // resolved worker count (cfg.threads == 0 case)
+  /// Checkpoint/resume bookkeeping; like wall_seconds, excluded from the
+  /// determinism contract (canonical_bytes).
+  CheckpointStats ckpt;
 
   /// Fault coverage over the sampled fault population, in percent. With
   /// fault_stride > 1 this is an *estimate* of the exhaustive coverage.
@@ -114,7 +130,23 @@ struct CampaignResult {
                              : 100.0 * static_cast<double>(detected) /
                                    static_cast<double>(total_faults);
   }
+
+  /// Canonical little-endian serialisation of the deterministic portion of
+  /// the result — everything except wall_seconds, threads_used and ckpt.
+  /// The unit of the byte-identity contract: equal for any thread count and
+  /// for straight vs killed-and-resumed vs multi-resume executions.
+  std::vector<u8> canonical_bytes() const;
 };
+
+/// The hash a checkpoint manifest binds this campaign to: every
+/// outcome-relevant CampaignConfig field (module, graded core, mailbox,
+/// bounds, fault_stride, marker mode) plus the netlist fingerprint and the
+/// routine-image fingerprint of the factory's SoC. Deliberately EXCLUDES
+/// threads, progress, sink, checkpoint and interrupt — resuming on a
+/// different worker count or with different observability is legal and
+/// changes nothing.
+u64 checkpoint_config_hash(const CampaignConfig& cfg, const netlist::Netlist& nl,
+                           const soc::Soc& soc);
 
 class Campaign {
  public:

@@ -85,6 +85,22 @@ std::string render_report(const CampaignReport& rep, const std::string& title) {
   summary.row({"wall-clock [s]", TextTable::fmt_fixed(r.wall_seconds, 2)});
   summary.row({"worker threads", TextTable::fmt_int(static_cast<long long>(r.threads_used))});
 
+  // Checkpoint/resume bookkeeping, only when the campaign journalled. Kept
+  // out of the summary table so checkpointed and plain runs of the same
+  // campaign produce the same summary block.
+  std::string ckpt_str;
+  if (r.ckpt.enabled) {
+    TextTable ckpt(title + " — checkpoint/resume");
+    ckpt.header({"metric", "value"});
+    ckpt.row({"shards loaded", TextTable::fmt_int(r.ckpt.shards_loaded)});
+    ckpt.row({"faults skipped via resume",
+              TextTable::fmt_int(static_cast<long long>(r.ckpt.records_resumed))});
+    ckpt.row({"corrupt shards quarantined", TextTable::fmt_int(r.ckpt.shards_corrupt)});
+    ckpt.row({"shards flushed", TextTable::fmt_int(r.ckpt.shards_flushed)});
+    ckpt.row({"interrupted (resumable)", r.ckpt.interrupted ? "yes" : "no"});
+    ckpt_str = ckpt.str();
+  }
+
   TextTable dict(title + " — coverage by gate class");
   dict.header({"gate class", "faults", "detected", "FC [%]"});
   for (const auto& c : rep.by_gate_class) {
@@ -92,7 +108,7 @@ std::string render_report(const CampaignReport& rep, const std::string& title) {
               TextTable::fmt_int(static_cast<long long>(c.detected)),
               TextTable::fmt_fixed(c.coverage_percent(), 2)});
   }
-  return summary.str() + dict.str();
+  return summary.str() + ckpt_str + dict.str();
 }
 
 }  // namespace detstl::fault

@@ -7,11 +7,23 @@
 // the range is exhausted every caller gets nullopt. Relaxed ordering is
 // sufficient — the queue carries no payload, only index ownership, and the
 // results workers produce are published by the thread join.
+//
+// Two extensions serve the checkpoint/resume subsystem (fault/checkpoint.h):
+//  * a done mask marks unit indices a resumed campaign already holds
+//    outcomes for — chunks consisting entirely of done indices are skipped
+//    (callers still check the mask per index inside mixed chunks);
+//  * halt() drains the queue cooperatively: subsequent next() calls return
+//    nullopt, so every worker finishes its in-flight chunk and stops, which
+//    is exactly the SIGINT/SIGTERM "finish in-flight faults, flush, exit
+//    resumable" semantics.
 
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <optional>
+#include <vector>
+
+#include "common/bitutil.h"
 
 namespace detstl::fault {
 
@@ -25,15 +37,33 @@ class WorkQueue {
 
   /// Queue over indices [0, total), dispensed `chunk_size` at a time (the
   /// final chunk may be shorter). A zero chunk size is promoted to 1.
-  explicit WorkQueue(std::size_t total, std::size_t chunk_size = 1)
-      : total_(total), chunk_(std::max<std::size_t>(1, chunk_size)) {}
+  /// `done` (optional, non-owning, must outlive the queue) marks indices
+  /// that need no work: fully-done chunks are never dispensed.
+  explicit WorkQueue(std::size_t total, std::size_t chunk_size = 1,
+                     const std::vector<u8>* done = nullptr)
+      : total_(total), chunk_(std::max<std::size_t>(1, chunk_size)), done_(done) {}
 
-  /// Claim the next chunk; nullopt once the range is exhausted.
+  /// Claim the next chunk with at least one pending index; nullopt once the
+  /// range is exhausted or the queue was halted.
   std::optional<Chunk> next() {
-    const std::size_t b = cursor_.fetch_add(chunk_, std::memory_order_relaxed);
-    if (b >= total_) return std::nullopt;
-    return Chunk{b, std::min(b + chunk_, total_)};
+    while (!halted_.load(std::memory_order_relaxed)) {
+      const std::size_t b = cursor_.fetch_add(chunk_, std::memory_order_relaxed);
+      if (b >= total_) return std::nullopt;
+      const std::size_t e = std::min(b + chunk_, total_);
+      if (done_ != nullptr &&
+          std::all_of(done_->begin() + static_cast<std::ptrdiff_t>(b),
+                      done_->begin() + static_cast<std::ptrdiff_t>(e),
+                      [](u8 d) { return d != 0; }))
+        continue;  // resumed checkpoint already holds every outcome in here
+      return Chunk{b, e};
+    }
+    return std::nullopt;
   }
+
+  /// Cooperative drain: no further chunks are dispensed. In-flight chunks
+  /// are unaffected — workers finish them and then see nullopt.
+  void halt() { halted_.store(true, std::memory_order_relaxed); }
+  bool halted() const { return halted_.load(std::memory_order_relaxed); }
 
   std::size_t total() const { return total_; }
   std::size_t chunk_size() const { return chunk_; }
@@ -41,7 +71,9 @@ class WorkQueue {
  private:
   std::size_t total_;
   std::size_t chunk_;
+  const std::vector<u8>* done_;
   std::atomic<std::size_t> cursor_{0};
+  std::atomic<bool> halted_{false};
 };
 
 }  // namespace detstl::fault

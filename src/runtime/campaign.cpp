@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <functional>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
@@ -56,6 +57,160 @@ u64 CampaignResult::digest() const {
   return h;
 }
 
+namespace {
+
+// Little-endian emit/parse helpers for the loss-less RunRecord round-trip.
+void put8(std::vector<u8>& out, u8 v) { out.push_back(v); }
+void put32(std::vector<u8>& out, u32 v) {
+  for (unsigned i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+void put64(std::vector<u8>& out, u64 v) {
+  for (unsigned i = 0; i < 8; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
+}
+
+/// Bounds-checked little-endian cursor; every get_* fails sticky.
+struct Cursor {
+  const std::vector<u8>* b;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  bool take(std::size_t n) {
+    if (!ok || b->size() - pos < n) return ok = false;
+    return true;
+  }
+  u8 get8() {
+    if (!take(1)) return 0;
+    return (*b)[pos++];
+  }
+  u32 get32() {
+    if (!take(4)) return 0;
+    u32 v = 0;
+    for (unsigned i = 0; i < 4; ++i) v |= static_cast<u32>((*b)[pos++]) << (8 * i);
+    return v;
+  }
+  u64 get64() {
+    if (!take(8)) return 0;
+    u64 v = 0;
+    for (unsigned i = 0; i < 8; ++i) v |= static_cast<u64>((*b)[pos++]) << (8 * i);
+    return v;
+  }
+  std::string get_str() {
+    const u32 n = get32();
+    if (!take(n)) return {};
+    std::string s(reinterpret_cast<const char*>(b->data()) + pos, n);
+    pos += n;
+    return s;
+  }
+};
+
+}  // namespace
+
+std::vector<u8> serialize_run_record(const RunRecord& rec) {
+  std::vector<u8> out;
+  put64(out, rec.seed);
+  put8(out, soc::kMaxCores);
+  for (const CoreReport& cr : rec.result.cores) {
+    put8(out, cr.quarantined ? 1 : 0);
+    put32(out, static_cast<u32>(cr.records.size()));
+    for (const RoutineRecord& rr : cr.records) {
+      put32(out, static_cast<u32>(rr.name.size()));
+      out.insert(out.end(), rr.name.begin(), rr.name.end());
+      put8(out, static_cast<u8>(rr.outcome));
+      put8(out, static_cast<u8>(rr.classification));
+      put32(out, rr.cached_attempts);
+      put32(out, rr.fallback_attempts);
+      put8(out, static_cast<u8>(rr.last_failure));
+      put64(out, rr.cycles);
+      put32(out, rr.final_signature);
+    }
+  }
+  put64(out, rec.result.total_cycles);
+  put8(out, rec.result.budget_exhausted ? 1 : 0);
+  for (unsigned k = 0; k < kNumDisturbanceKinds; ++k) {
+    put64(out, rec.result.injections.applied[k]);
+    put64(out, rec.result.injections.skipped[k]);
+  }
+  return out;
+}
+
+bool deserialize_run_record(const std::vector<u8>& bytes, RunRecord& out) {
+  Cursor c{&bytes};
+  RunRecord rec;
+  rec.seed = c.get64();
+  if (c.get8() != soc::kMaxCores) return false;
+  for (CoreReport& cr : rec.result.cores) {
+    cr.quarantined = c.get8() != 0;
+    const u32 n = c.get32();
+    if (!c.ok || n > bytes.size()) return false;  // cheap amplification guard
+    cr.records.resize(n);
+    for (RoutineRecord& rr : cr.records) {
+      rr.name = c.get_str();
+      rr.outcome = static_cast<RecoveryOutcome>(c.get8());
+      rr.classification = static_cast<Classification>(c.get8());
+      rr.cached_attempts = c.get32();
+      rr.fallback_attempts = c.get32();
+      rr.last_failure = static_cast<AttemptStatus>(c.get8());
+      rr.cycles = c.get64();
+      rr.final_signature = c.get32();
+      if (rr.outcome > RecoveryOutcome::kBudgetExhausted ||
+          rr.classification > Classification::kPermanent ||
+          rr.last_failure > AttemptStatus::kTimeout)
+        return false;
+    }
+  }
+  rec.result.total_cycles = c.get64();
+  rec.result.budget_exhausted = c.get8() != 0;
+  for (unsigned k = 0; k < kNumDisturbanceKinds; ++k) {
+    rec.result.injections.applied[k] = c.get64();
+    rec.result.injections.skipped[k] = c.get64();
+  }
+  if (!c.ok || c.pos != bytes.size()) return false;  // trailing garbage
+  out = std::move(rec);
+  return true;
+}
+
+u64 checkpoint_config_hash(const CampaignSpec& spec, const SchedulePlan& plan) {
+  fault::ConfigHasher h;
+  h.u32v(fault::kCheckpointSchemaVersion)
+      .u32v(static_cast<u32>(fault::PayloadKind::kDisturbanceRuns))
+      .u64v(spec.seed)
+      .u32v(spec.runs)
+      .u32v(spec.cores);
+  // The resolved schedule, not spec.routines: the routine-pointer overload
+  // ignores the name list, and the calibrations feed the watchdog budgets.
+  for (unsigned c = 0; c < spec.cores; ++c) {
+    h.u32v(static_cast<u32>(plan.schedule[c].size()));
+    for (const PlannedRoutine& r : plan.schedule[c]) {
+      h.str(r.name)
+          .u32v(r.cached_golden)
+          .u32v(r.fallback_golden)
+          .u64v(r.cached_calib)
+          .u64v(r.fallback_calib);
+    }
+  }
+  const SupervisorConfig& sup = spec.supervisor;
+  h.u32v(sup.margin_percent)
+      .u64v(sup.watchdog_floor)
+      .u32v(sup.max_attempts)
+      .u32v(sup.fallback_attempts)
+      .u64v(sup.backoff_base)
+      .u64v(sup.backoff_cap)
+      .u64v(sup.global_budget);
+  const DisturbanceSpec& d = spec.disturb;
+  h.u32v(d.count)
+      .u64v(d.window_lo)
+      .u64v(d.window_hi)
+      .u32v(d.stall_cycles)
+      .u32v(d.stuck_period)
+      .u32v(d.stuck_repeats)
+      .u32v(d.irq_sources)
+      .u32v(static_cast<u32>(d.kinds.size()))
+      .f64v(d.permanent_chance);
+  for (const DisturbanceKind k : d.kinds) h.u8v(static_cast<u8>(k));
+  h.u64v(fault::soc_image_fingerprint(plan.soc));
+  return h.digest();
+}
+
 CampaignResult run_disturbance_campaign(
     const CampaignSpec& spec,
     const std::vector<const core::SelfTestRoutine*>& routines) {
@@ -92,22 +247,67 @@ CampaignResult run_disturbance_campaign(
                         : std::max(1u, std::thread::hardware_concurrency());
   res.threads_used = std::min<unsigned>(threads, std::max(1u, spec.runs));
 
+  // --- Crash-safe checkpoint/resume (fault/checkpoint.h) -----------------------
+  // Shard payloads are loss-less serialised RunRecords; a record that fails
+  // deserialisation or carries the wrong derived seed is dropped and its run
+  // re-executed.
+  fault::LoadedCheckpoint loaded;
+  std::optional<fault::CheckpointWriter> writer;
+  std::vector<u8> done(spec.runs, 0);
+  const auto stop_requested = [&spec] {
+    return spec.interrupt != nullptr && spec.interrupt->stop_requested();
+  };
+  if (spec.checkpoint.enabled()) {
+    const u64 hash = checkpoint_config_hash(spec, plan);
+    if (spec.checkpoint.resume)
+      loaded = fault::load_checkpoint(spec.checkpoint,
+                                      fault::PayloadKind::kDisturbanceRuns, hash,
+                                      spec.sink);
+    writer.emplace(spec.checkpoint, fault::PayloadKind::kDisturbanceRuns, hash,
+                   loaded.next_shard, spec.sink);
+    res.ckpt.enabled = true;
+    res.ckpt.shards_loaded = loaded.shards_loaded;
+    res.ckpt.shards_corrupt = loaded.shards_corrupt;
+    for (const fault::ShardRecord& sr : loaded.records) {
+      RunRecord rec;
+      if (sr.index >= spec.runs || !deserialize_run_record(sr.payload, rec) ||
+          rec.seed != derive_run_seed(spec.seed, static_cast<unsigned>(sr.index)))
+        continue;
+      if (done[sr.index] == 0) {
+        done[sr.index] = 1;
+        ++res.ckpt.records_resumed;
+      }
+      res.records[sr.index] = std::move(rec);
+    }
+  }
+
   // Outcomes are written by run index; aggregates (report, digest) are
   // derived from the merged vector after the join — byte-identical results
-  // at any thread count.
-  fault::WorkQueue queue(spec.runs, 1);
+  // at any thread count, straight or resumed.
+  fault::WorkQueue queue(spec.runs, 1, &done);
   run_pool(res.threads_used, [&](unsigned) {
-    while (const auto chunk = queue.next()) {
+    while (!stop_requested()) {
+      const auto chunk = queue.next();
+      if (!chunk) return;
       for (u64 i = chunk->begin; i < chunk->end; ++i) {
+        if (done[i] != 0) continue;  // resumed shard already records this run
         const u64 run_seed = derive_run_seed(spec.seed, static_cast<unsigned>(i));
         DisturbanceInjector injector(
             make_plan(dspec, run_seed, spec.cores));
         StlSupervisor sup(plan.soc, plan.schedule, spec.supervisor);
         res.records[i] = RunRecord{run_seed, sup.run(&injector)};
+        if (writer) writer->add(i, serialize_run_record(res.records[i]));
+        if (spec.interrupt != nullptr) spec.interrupt->on_unit_complete();
       }
     }
+    queue.halt();
   });
 
+  if (writer) {
+    writer->flush();
+    res.ckpt.shards_flushed = writer->shards_flushed();
+  }
+  res.ckpt.interrupted = stop_requested();
   res.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   return res;

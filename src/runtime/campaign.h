@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/checkpoint.h"
 #include "runtime/supervisor.h"
 
 namespace detstl::runtime {
@@ -24,6 +25,15 @@ struct CampaignSpec {
   std::vector<std::string> routines;
   SupervisorConfig supervisor{};
   DisturbanceSpec disturb{};  // window_hi 0 = derived from the calibration
+  /// Crash-safe checkpoint/journal (fault/checkpoint.h): completed run
+  /// records are persisted into checksummed shards and skipped on --resume.
+  /// Straight and killed-and-resumed campaigns are byte-identical.
+  fault::CheckpointConfig checkpoint;
+  /// Cooperative drain request; null = never interrupted. Not hashed.
+  fault::InterruptToken* interrupt = nullptr;
+  /// detscope sink for kCkptFlush/kCkptLoad/kCkptReject telemetry only (the
+  /// supervised runs themselves never trace here). Non-owning; null = off.
+  trace::EventSink* sink = nullptr;
 };
 
 struct RunRecord {
@@ -39,12 +49,31 @@ struct CampaignResult {
   std::vector<std::string> routine_names;
   std::vector<RunRecord> records;  // indexed by run
   double wall_seconds = 0.0;       // excluded from the determinism contract
+  /// Checkpoint/resume bookkeeping; excluded from the determinism contract.
+  fault::CheckpointStats ckpt;
 
   /// Concatenated canonical run results (byte-identical across thread counts).
   std::vector<u8> outcome_vector() const;
   /// FNV-1a 64 of outcome_vector().
   u64 digest() const;
 };
+
+/// Full round-trip serialisation of one run record (seed + every
+/// SupervisorResult field, including routine names) — the shard payload of a
+/// disturbance-campaign checkpoint. Unlike outcome_vector() this is
+/// loss-less: deserialising reproduces the record exactly.
+std::vector<u8> serialize_run_record(const RunRecord& rec);
+
+/// Inverse of serialize_run_record. Returns false (leaving `out`
+/// unspecified) on any framing error — the campaign then re-executes that
+/// run instead of trusting a half-parsed record.
+bool deserialize_run_record(const std::vector<u8>& bytes, RunRecord& out);
+
+/// The hash a disturbance-campaign checkpoint manifest binds to: seed, run
+/// count, cores, routine names, the full supervisor and disturbance configs,
+/// and the schedule plan's SoC image fingerprint. Deliberately EXCLUDES
+/// threads, checkpoint, interrupt and sink.
+u64 checkpoint_config_hash(const CampaignSpec& spec, const SchedulePlan& plan);
 
 /// Per-run seed: splitmix64-style mix of the master seed and the run index,
 /// so runs are decorrelated but reproducible individually.

@@ -50,6 +50,7 @@ class Soc {
   cpu::Cpu& core(unsigned i) { return cores_[i]; }
   const cpu::Cpu& core(unsigned i) const { return cores_[i]; }
   mem::Flash& flash() { return flash_; }
+  const mem::Flash& flash() const { return flash_; }
   mem::Sram& sram() { return sram_; }
   mem::SharedBus& bus() { return bus_; }
 

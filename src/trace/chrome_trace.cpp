@@ -124,6 +124,9 @@ void ChromeTraceWriter::write(std::ostream& os) const {
       case EventKind::kCampaignPhaseEnd:
       case EventKind::kCampaignFault:
       case EventKind::kCampaignDone:
+      case EventKind::kCkptFlush:
+      case EventKind::kCkptLoad:
+      case EventKind::kCkptReject:
         j.tid = kCampaignTid;
         j.args = "\"unit\":" + std::to_string(e.unit) +
                  ",\"a\":" + std::to_string(e.a) + ",\"b\":" + std::to_string(e.b);

@@ -24,6 +24,9 @@ const char* kind_name(EventKind k) {
     case EventKind::kSupAttempt: return "sup-attempt";
     case EventKind::kSupOutcome: return "sup-outcome";
     case EventKind::kSupDecision: return "sup-decision";
+    case EventKind::kCkptFlush: return "ckpt-flush";
+    case EventKind::kCkptLoad: return "ckpt-load";
+    case EventKind::kCkptReject: return "ckpt-reject";
   }
   return "?";
 }

@@ -53,6 +53,14 @@ enum class EventKind : u8 {
                  // b = observed signature (0 on timeout)
   kSupDecision,  // unit = runtime::Decision, a = routine index,
                  // b = backoff cycles (retry) / 0
+  // Checkpoint/journal subsystem (fault/checkpoint.h). Load/reject events
+  // fire on the serial resume path (cycle = emission sequence number);
+  // flush events fire from whichever worker filled the shard (cycle = the
+  // writer's own flush sequence) and are operational telemetry, excluded
+  // from the cross-thread-count stream-determinism contract.
+  kCkptFlush,   // unit = PayloadKind, a = records in shard, b = shard index
+  kCkptLoad,    // unit = PayloadKind, a = records loaded, b = shard index
+  kCkptReject,  // unit = PayloadKind, a = RejectReason, b = shard index
 };
 
 const char* kind_name(EventKind k);

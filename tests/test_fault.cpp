@@ -100,6 +100,53 @@ TEST(Campaign, ModuleNames) {
   EXPECT_STREQ(module_name(Module::kIcu), "icu");
 }
 
+TEST(Campaign, CheckpointConfigHashBindsOutcomeRelevantFieldsOnly) {
+  // The hash a checkpoint manifest binds to must change with anything that
+  // changes outcomes (sampling, graded netlist, routine image) and must NOT
+  // change with execution knobs (threads, observability, checkpoint paths) —
+  // resuming on a different worker count is legal.
+  const netlist::FwdNetlist fwd(isa::CoreKind::kA);
+  const auto routine = core::make_fwd_test(false);
+  exp::Scenario sc{1, {0, 0, 0}, 0, 0, "hash"};
+  auto tests = exp::build_scenario_tests(*routine, WrapperKind::kPlain, sc, 0, false);
+  const soc::Soc soc = exp::scenario_factory(std::move(tests), sc, 0)();
+
+  CampaignConfig cfg;
+  cfg.module = Module::kFwd;
+  cfg.fault_stride = 8;
+  const u64 base = checkpoint_config_hash(cfg, fwd.nl(), soc);
+  EXPECT_EQ(checkpoint_config_hash(cfg, fwd.nl(), soc), base);  // stable
+
+  CampaignConfig knobs = cfg;
+  knobs.threads = 8;
+  knobs.progress_every = 1;
+  knobs.checkpoint.dir = "elsewhere";
+  knobs.checkpoint.resume = true;
+  EXPECT_EQ(checkpoint_config_hash(knobs, fwd.nl(), soc), base);
+
+  CampaignConfig stride = cfg;
+  stride.fault_stride = 4;
+  EXPECT_NE(checkpoint_config_hash(stride, fwd.nl(), soc), base);
+
+  CampaignConfig marker = cfg;
+  marker.signature_from_marker = true;
+  EXPECT_NE(checkpoint_config_hash(marker, fwd.nl(), soc), base);
+
+  CampaignConfig bound = cfg;
+  bound.max_cycles = 1'000;
+  EXPECT_NE(checkpoint_config_hash(bound, fwd.nl(), soc), base);
+
+  // A different graded netlist changes the fault list, so it must re-key.
+  const netlist::HdcuNetlist hdcu(isa::CoreKind::kA);
+  EXPECT_NE(checkpoint_config_hash(cfg, hdcu.nl(), soc), base);
+
+  // A different routine image (same config, same netlist) must re-key too.
+  const auto other = core::make_icu_test();
+  auto tests2 = exp::build_scenario_tests(*other, WrapperKind::kPlain, sc, 0, false);
+  const soc::Soc soc2 = exp::scenario_factory(std::move(tests2), sc, 0)();
+  EXPECT_NE(checkpoint_config_hash(cfg, fwd.nl(), soc2), base);
+}
+
 TEST(Report, GateClassTotalsMatchCampaign) {
   const auto res = run_icu_campaign(WrapperKind::kPlain, 1, 2, 4096);
   const netlist::IcuNetlist icu(isa::CoreKind::kA);

@@ -372,6 +372,45 @@ TEST(Campaign, OutcomeVectorByteIdenticalAcrossThreadCounts) {
   EXPECT_GT(total.total_applied(), 0u);
 }
 
+TEST(Campaign, CheckpointConfigHashExcludesExecutionKnobs) {
+  const auto r = routines({"alu", "shifter"});
+  const SchedulePlan plan = plan_schedule(r, 2);
+  CampaignSpec spec;
+  spec.seed = 0xAB;
+  spec.runs = 4;
+  spec.cores = 2;
+  const u64 base = checkpoint_config_hash(spec, plan);
+  EXPECT_EQ(checkpoint_config_hash(spec, plan), base);  // stable
+
+  // Threads and checkpoint/interrupt/sink wiring are excluded: resuming on a
+  // different worker count or with different observability is legal.
+  CampaignSpec knobs = spec;
+  knobs.threads = 8;
+  knobs.checkpoint.dir = "elsewhere";
+  knobs.checkpoint.resume = true;
+  EXPECT_EQ(checkpoint_config_hash(knobs, plan), base);
+
+  CampaignSpec seed = spec;
+  seed.seed = 0xAC;
+  EXPECT_NE(checkpoint_config_hash(seed, plan), base);
+
+  CampaignSpec runs = spec;
+  runs.runs = 5;
+  EXPECT_NE(checkpoint_config_hash(runs, plan), base);
+
+  CampaignSpec disturb = spec;
+  disturb.disturb.permanent_chance = 0.25;
+  EXPECT_NE(checkpoint_config_hash(disturb, plan), base);
+
+  CampaignSpec sup = spec;
+  sup.supervisor.max_attempts = 7;
+  EXPECT_NE(checkpoint_config_hash(sup, plan), base);
+
+  // A different schedule plan (different routine image) must re-key.
+  const SchedulePlan plan2 = plan_schedule(routines({"alu"}), 2);
+  EXPECT_NE(checkpoint_config_hash(spec, plan2), base);
+}
+
 TEST(Campaign, RunSeedsAreDecorrelatedAndStable) {
   EXPECT_NE(derive_run_seed(1, 0), derive_run_seed(1, 1));
   EXPECT_NE(derive_run_seed(1, 0), derive_run_seed(2, 0));

@@ -2,6 +2,16 @@
 // Strict CLI numeric parsing shared by the detstl tools (stlint, detscope,
 // stlrun). Malformed or out-of-range values are usage errors — reported on
 // stderr with exit code 2 — never silently clamped or ignored.
+//
+// Exit-code contract (all tools and table benches):
+//   0  completed successfully
+//   1  ran to completion but failed (determinism violation, lint finding,
+//      shape mismatch, ...)
+//   2  usage error (unknown option, malformed value, config-hash mismatch
+//      against an existing checkpoint)
+//   3  interrupted but RESUMABLE: a cooperative drain (SIGINT/SIGTERM or a
+//      --interrupt-after drill) stopped the run after flushing a final
+//      checkpoint shard; re-run with --resume to continue.
 
 #include <cerrno>
 #include <cstdio>
@@ -9,7 +19,22 @@
 #include <string>
 #include <vector>
 
+#include "common/version.h"
+#include "fault/checkpoint.h"
+
 namespace detstl::cli {
+
+inline constexpr int kExitSuccess = 0;
+inline constexpr int kExitFailure = 1;
+inline constexpr int kExitUsage = 2;
+inline constexpr int kExitInterrupted = 3;  // resumable; see contract above
+
+/// `<tool> --version`: suite version plus the on-disk checkpoint schema the
+/// binary reads and writes (fault/checkpoint.h).
+inline void print_version(const char* tool) {
+  std::printf("%s (detstl %s, checkpoint schema %u)\n", tool,
+              detstl::kDetstlVersion, fault::kCheckpointSchemaVersion);
+}
 
 /// Parse a decimal (or 0x-prefixed hex) unsigned integer in [lo, hi].
 /// Returns false on garbage, trailing characters, sign or range violation.

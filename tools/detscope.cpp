@@ -51,7 +51,9 @@ void usage(std::FILE* os) {
       "  --wa on|off      D$ write-allocate policy (default: on)\n"
       "  --trace FILE     write the run as Chrome-trace JSON\n"
       "  --hits           include per-access cache hits in the JSON\n"
-      "  --beats          include per-word bus data beats in the JSON\n");
+      "  --beats          include per-word bus data beats in the JSON\n"
+      "\n"
+      "  --version        print suite + checkpoint schema version\n");
 }
 
 bool require_on_off(const char* opt, const std::string& v) {
@@ -306,6 +308,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 2, argv + argc);
   if (cmd == "-h" || cmd == "--help") {
     usage(stdout);
+    return 0;
+  }
+  if (cmd == "--version") {
+    cli::print_version("detscope");
     return 0;
   }
   try {

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "analysis/fixtures.h"
+#include "cli_util.h"
 #include "core/routines.h"
 #include "core/stl.h"
 #include "core/wrapper.h"
@@ -57,7 +58,8 @@ void usage(std::ostream& os) {
         "  --core K         core kind: A | B | C           (default: A)\n"
         "  -q, --quiet      only print per-target verdicts\n"
         "  -v, --verbose    print full reports even when clean\n"
-        "  --json           machine-readable report on stdout (routine mode)\n";
+        "  --json           machine-readable report on stdout (routine mode)\n"
+        "  --version        print suite + checkpoint schema version\n";
 }
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -121,6 +123,9 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (!v) return false;
       opt.fixture = v;
+    } else if (a == "--version") {
+      cli::print_version("stlint");
+      std::exit(0);
     } else if (a == "-h" || a == "--help") {
       usage(std::cout);
       std::exit(0);

@@ -6,7 +6,14 @@
 // count; --verify-threads re-runs the campaign at several thread counts and
 // fails (exit 1) unless the outcome vectors are byte-identical.
 //
-// Exit codes: 0 success, 1 determinism mismatch, 2 usage / setup error.
+// With --checkpoint-dir the campaign journals completed runs into checksummed
+// shards; SIGINT/SIGTERM drain cooperatively (finish in-flight runs, flush a
+// final shard) and exit 3 = interrupted-but-resumable. --resume continues
+// from the verified shards; the completed result is byte-identical to an
+// uninterrupted run.
+//
+// Exit codes (tools/cli_util.h): 0 success, 1 determinism mismatch,
+// 2 usage / setup error, 3 interrupted but resumable.
 
 #include <cstdio>
 #include <cstring>
@@ -47,7 +54,17 @@ void usage(std::FILE* to) {
       "  --margin PCT           watchdog interference margin, 0..10000 (default 250)\n"
       "  --attempts N           cached-rung attempts, 1..16 (default 3)\n"
       "  --fallback-attempts N  fallback-rung attempts, 0..16 (default 2)\n"
-      "  --digest-only          print only the outcome digest line\n");
+      "  --digest-only          print only the outcome digest line\n"
+      "\n"
+      "checkpoint/resume (exit 3 = interrupted but resumable):\n"
+      "  --checkpoint-dir DIR     journal completed runs into DIR; SIGINT/SIGTERM\n"
+      "                           drain cooperatively and flush a final shard\n"
+      "  --checkpoint-interval N  completed runs per shard, 1..1000000 (default 256)\n"
+      "  --resume                 load DIR's verified shards, run the remainder\n"
+      "  --no-fsync               skip fsync on shard writes (faster, less durable)\n"
+      "  --interrupt-after N      drill: request the drain after N completed runs\n"
+      "\n"
+      "  --version                print suite + checkpoint schema version\n");
 }
 
 int cmd_list_kinds() {
@@ -67,6 +84,7 @@ int cmd_campaign(int argc, char** argv) {
   CampaignSpec spec;
   std::vector<unsigned> verify_threads;
   bool digest_only = false;
+  u64 interrupt_after = 0;
 
   for (int i = 0; i < argc; ++i) {
     const std::string a = argv[i];
@@ -109,25 +127,73 @@ int cmd_campaign(int argc, char** argv) {
           cli::require_unsigned(kTool, "--fallback-attempts", need(), 0, 16);
     } else if (a == "--digest-only") {
       digest_only = true;
+    } else if (a == "--checkpoint-dir") {
+      spec.checkpoint.dir = need();
+    } else if (a == "--checkpoint-interval") {
+      spec.checkpoint.interval = static_cast<u32>(
+          cli::require_u64(kTool, "--checkpoint-interval", need(), 1, 1'000'000));
+    } else if (a == "--resume") {
+      spec.checkpoint.resume = true;
+    } else if (a == "--no-fsync") {
+      spec.checkpoint.fsync = fault::FsyncPolicy::kNone;
+    } else if (a == "--interrupt-after") {
+      interrupt_after =
+          cli::require_u64(kTool, "--interrupt-after", need(), 1, ~0ull);
     } else if (a == "--help" || a == "-h") {
       usage(stdout);
       return 0;
     } else {
       std::fprintf(stderr, "%s: unknown option '%s'\n", kTool, a.c_str());
       usage(stderr);
-      return 2;
+      return cli::kExitUsage;
     }
+  }
+
+  if (spec.checkpoint.resume && !spec.checkpoint.enabled()) {
+    std::fprintf(stderr, "%s: --resume requires --checkpoint-dir\n", kTool);
+    return cli::kExitUsage;
+  }
+  if (spec.checkpoint.enabled() && !verify_threads.empty()) {
+    // The verify loop runs the same campaign several times; sharing one
+    // journal across them would make every pass after the first a no-op.
+    std::fprintf(stderr,
+                 "%s: --checkpoint-dir cannot be combined with "
+                 "--verify-threads\n", kTool);
+    return cli::kExitUsage;
+  }
+
+  if (spec.checkpoint.enabled() || interrupt_after != 0) {
+    spec.interrupt = &fault::global_interrupt();
+    spec.interrupt->clear();
+    if (interrupt_after != 0) spec.interrupt->arm_after(interrupt_after);
+    fault::install_drain_handlers();
   }
 
   if (verify_threads.empty()) {
     const CampaignResult res = run_disturbance_campaign(spec);
+    if (res.ckpt.enabled)
+      std::fprintf(stderr,
+                   "%s: checkpoint: %u shard(s) loaded, %llu run(s) resumed, "
+                   "%u corrupt shard(s) quarantined, %u shard(s) flushed\n",
+                   kTool, res.ckpt.shards_loaded,
+                   static_cast<unsigned long long>(res.ckpt.records_resumed),
+                   res.ckpt.shards_corrupt, res.ckpt.shards_flushed);
+    if (res.ckpt.interrupted) {
+      std::size_t completed = 0;  // resumed + finished this session
+      for (const RunRecord& r : res.records) completed += r.seed != 0 ? 1 : 0;
+      std::fprintf(stderr,
+                   "%s: interrupted after %zu/%u run(s); resume with "
+                   "--checkpoint-dir %s --resume\n",
+                   kTool, completed, res.runs, spec.checkpoint.dir.c_str());
+      return cli::kExitInterrupted;
+    }
     if (digest_only)
       std::printf("outcome digest: %s\n", TextTable::fmt_hex(res.digest()).c_str());
     else
       std::fputs(render_recovery_report(res).c_str(), stdout);
     std::fprintf(stderr, "%s: %u runs on %u thread(s) in %.2fs\n", kTool,
                  res.runs, res.threads_used, res.wall_seconds);
-    return 0;
+    return cli::kExitSuccess;
   }
 
   // Determinism self-check: same spec at each requested thread count must
@@ -185,13 +251,20 @@ int main(int argc, char** argv) {
   try {
     if (cmd == "campaign") return cmd_campaign(argc - 2, argv + 2);
     if (cmd == "list-kinds") return cmd_list_kinds();
+    if (cmd == "--version") {
+      cli::print_version(kTool);
+      return 0;
+    }
     if (cmd == "--help" || cmd == "-h") {
       usage(stdout);
       return 0;
     }
+  } catch (const fault::CheckpointMismatch& e) {
+    std::fprintf(stderr, "%s: checkpoint rejected: %s\n", kTool, e.what());
+    return cli::kExitUsage;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s: %s\n", kTool, e.what());
-    return 2;
+    return cli::kExitUsage;
   }
   std::fprintf(stderr, "%s: unknown command '%s'\n", kTool, cmd.c_str());
   usage(stderr);
