@@ -1,9 +1,9 @@
 #include "analysis/analyzer.h"
 
 #include <algorithm>
-#include <optional>
 #include <sstream>
 
+#include "analysis/absint.h"
 #include "common/bitutil.h"
 #include "mem/memmap.h"
 
@@ -22,49 +22,6 @@ std::string hex(u32 v) {
 /// Interval spans wider than this are treated as unresolved rather than
 /// enumerated line by line (no realistic routine walks 64 KiB of scratch).
 constexpr u32 kMaxSpan = 64 * 1024;
-
-/// Execution-loop region: [head, back_edge_pc], inclusive.
-struct LoopRegion {
-  u32 head = 0;
-  u32 end = 0;
-  bool found = false;
-};
-
-LoopRegion find_loop(const isa::Program& prog, const Cfg& g,
-                     const std::string& loop_symbol) {
-  LoopRegion lr;
-  const auto edges = g.back_edges();
-  if (!loop_symbol.empty() && prog.has_symbol(loop_symbol)) {
-    lr.head = prog.symbol(loop_symbol);
-    for (const auto& [br, t] : edges) {
-      if (t == lr.head && br > lr.end) {
-        lr.end = br;
-        lr.found = true;
-      }
-    }
-    if (lr.found) return lr;
-  }
-  // Infer: merge overlapping back-edge intervals, take the widest.
-  std::vector<std::pair<u32, u32>> iv;
-  for (const auto& [br, t] : edges) iv.emplace_back(t, br);
-  std::sort(iv.begin(), iv.end());
-  std::vector<std::pair<u32, u32>> merged;
-  for (const auto& [lo, hi] : iv) {
-    if (!merged.empty() && lo <= merged.back().second) {
-      merged.back().second = std::max(merged.back().second, hi);
-    } else {
-      merged.emplace_back(lo, hi);
-    }
-  }
-  for (const auto& [lo, hi] : merged) {
-    if (!lr.found || hi - lo > lr.end - lr.head) {
-      lr.head = lo;
-      lr.end = hi;
-      lr.found = true;
-    }
-  }
-  return lr;
-}
 
 /// True when a write to r29 matches the MISR idiom (routine.cpp's
 /// emit_misr_acc: slli r26,r29,1; srli r29,r29,31; or r29,r26,r29;
@@ -132,35 +89,102 @@ class SetMap {
 
 }  // namespace
 
-Report analyze(const isa::Program& prog, const AnalysisConfig& cfg) {
-  Report rep;
-  ImageView image(prog);
-  if (!image.contains(prog.entry(), 4)) {
-    rep.add(Severity::kError, Rule::kUnreachableEntry, prog.entry(),
-            "entry point " + hex(prog.entry()) + " is outside the program image");
-    return rep;
+LoopRegion find_loop(const isa::Program& prog, const Cfg& g,
+                     const std::string& loop_symbol) {
+  LoopRegion lr;
+  const auto edges = g.back_edges();
+  if (!loop_symbol.empty() && prog.has_symbol(loop_symbol)) {
+    lr.head = prog.symbol(loop_symbol);
+    for (const auto& [br, t] : edges) {
+      if (t == lr.head && br > lr.end) {
+        lr.end = br;
+        lr.found = true;
+      }
+    }
+    if (lr.found) return lr;
   }
+  // Infer: merge overlapping back-edge intervals, take the widest.
+  std::vector<std::pair<u32, u32>> iv;
+  for (const auto& [br, t] : edges) iv.emplace_back(t, br);
+  std::sort(iv.begin(), iv.end());
+  std::vector<std::pair<u32, u32>> merged;
+  for (const auto& [lo, hi] : iv) {
+    if (!merged.empty() && lo <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, hi);
+    } else {
+      merged.emplace_back(lo, hi);
+    }
+  }
+  for (const auto& [lo, hi] : merged) {
+    if (!lr.found || hi - lo > lr.end - lr.head) {
+      lr.head = lo;
+      lr.end = hi;
+      lr.found = true;
+    }
+  }
+  return lr;
+}
+
+ProgramModel build_model(const isa::Program& prog, const AnalysisConfig& cfg) {
+  ProgramModel m;
+  ImageView image(prog);
+  if (!image.contains(prog.entry(), 4)) return m;
+  m.entry_ok = true;
 
   // CFG/constprop fixpoint: constant-resolved JALR and MTVEC targets become
   // new roots until the reachable set stops growing.
   std::set<u32> roots{prog.entry()};
-  std::set<u32> isr_roots;
-  std::optional<Cfg> graph;
-  ConstPropResult cp;
   for (int iter = 0; iter < 5; ++iter) {
-    graph.emplace(image, roots);
-    cp = propagate(*graph, cfg.data_regions);
+    m.graph.emplace(image, roots);
+    m.cp = propagate(*m.graph, cfg.data_regions);
     bool grew = false;
-    for (u32 t : cp.jalr_targets)
+    for (u32 t : m.cp.jalr_targets)
       if (image.contains(t, 4) && roots.insert(t).second) grew = true;
-    for (u32 t : cp.mtvec_targets) {
+    for (u32 t : m.cp.mtvec_targets) {
       if (!image.contains(t, 4)) continue;
-      isr_roots.insert(t);
+      m.isr_roots.insert(t);
       if (roots.insert(t).second) grew = true;
     }
     if (!grew) break;
   }
-  const Cfg& g = *graph;
+  const Cfg& g = *m.graph;
+
+  m.loop = find_loop(prog, g, cfg.loop_symbol);
+  if (!m.loop.found) return m;
+
+  // Loop footprint: the back-edge interval, plus ISR code (interrupts fire
+  // during the loop), plus callees invoked from inside the interval.
+  for (const auto& [pc, in] : g.instrs())
+    if (pc >= m.loop.head && pc <= m.loop.end) m.footprint.insert(pc);
+  m.loop_extra_roots = m.isr_roots;
+  for (u32 pc : m.footprint) {
+    const Instr& in = g.instrs().at(pc);
+    if (in.op == Op::kJal && in.rd != R0) {
+      const u32 t = *direct_target(in, pc);
+      if (t < m.loop.head || t > m.loop.end) m.loop_extra_roots.insert(t);
+    }
+    if (in.op == Op::kJalr && in.rd != R0) {
+      const auto st = m.cp.at.find(pc);
+      if (st == m.cp.at.end() || !st->second[in.rs1].is_const())
+        m.unresolved_calls.push_back(pc);
+    }
+  }
+  for (u32 pc : g.reachable_from(m.loop_extra_roots)) m.footprint.insert(pc);
+  return m;
+}
+
+namespace {
+
+Report analyze_impl(const isa::Program& prog, const AnalysisConfig& cfg,
+                    const ProgramModel& m) {
+  Report rep;
+  if (!m.entry_ok) {
+    rep.add(Severity::kError, Rule::kUnreachableEntry, prog.entry(),
+            "entry point " + hex(prog.entry()) + " is outside the program image");
+    return rep;
+  }
+  const Cfg& g = m.cfg();
+  const ConstPropResult& cp = m.cp;
 
   // --- structural lints -------------------------------------------------------
 
@@ -212,9 +236,9 @@ Report analyze(const isa::Program& prog, const AnalysisConfig& cfg) {
 
   if (!cfg.check_cache_determinism) return rep;
 
-  const LoopRegion loop = find_loop(prog, g, cfg.loop_symbol);
+  const LoopRegion& loop = m.loop;
   if (!loop.found) {
-    rep.add(Severity::kWarning, Rule::kUnresolvedAddress, 0,
+    rep.add(Severity::kWarning, Rule::kUnresolvedAddress, prog.entry(),
             "no execution loop (back edge) found; cache determinism rules "
             "were not applied",
             "cache-based wrappers must run the body in a loading+execution "
@@ -222,28 +246,12 @@ Report analyze(const isa::Program& prog, const AnalysisConfig& cfg) {
     return rep;
   }
 
-  // Loop footprint: the back-edge interval, plus ISR code (interrupts fire
-  // during the loop), plus callees invoked from inside the interval.
-  std::set<u32> fp;
-  for (const auto& [pc, in] : g.instrs())
-    if (pc >= loop.head && pc <= loop.end) fp.insert(pc);
-  std::set<u32> extra_roots = isr_roots;
-  for (u32 pc : fp) {
-    const Instr& in = g.instrs().at(pc);
-    if (in.op == Op::kJal && in.rd != R0) {
-      const u32 t = *direct_target(in, pc);
-      if (t < loop.head || t > loop.end) extra_roots.insert(t);
-    }
-    if (in.op == Op::kJalr && in.rd != R0) {
-      const auto st = cp.at.find(pc);
-      if (st == cp.at.end() || !st->second[in.rs1].is_const()) {
-        rep.add(Severity::kWarning, Rule::kUnresolvedAddress, pc,
-                "indirect call target inside the execution loop cannot be "
-                "resolved; the code footprint may be incomplete");
-      }
-    }
+  const std::set<u32>& fp = m.footprint;
+  for (u32 pc : m.unresolved_calls) {
+    rep.add(Severity::kWarning, Rule::kUnresolvedAddress, pc,
+            "indirect call target inside the execution loop cannot be "
+            "resolved; the code footprint may be incomplete");
   }
-  for (u32 pc : g.reachable_from(extra_roots)) fp.insert(pc);
 
   // Rule 1: instruction footprint vs the I-cache.
   SetMap imap(cfg.mem.icache);
@@ -366,6 +374,68 @@ Report analyze(const isa::Program& prog, const AnalysisConfig& cfg) {
     }
   }
 
+  // --- layer 2: abstract-interpretation obligations (absint.h) ----------------
+
+  if (!cfg.abstract_interpretation) return rep;
+  const AbsIntResult ai = interpret(prog, cfg, m);
+  if (!ai.analyzable) return rep;
+
+  // When the syntactic layer already refuted the cache structure, the
+  // per-access unproven verdicts are downstream noise of the same root
+  // cause — report the structural error once, not per access.
+  const bool structure_bad = rep.has(Rule::kIcacheConflict) ||
+                             rep.has(Rule::kDcacheConflict) ||
+                             rep.has(Rule::kCodeFootprint);
+  const bool ai_conflict =
+      ai.status(ObligationKind::kSetConflictFree) == ObligationStatus::kRefuted;
+  if (ai_conflict && !structure_bad) {
+    const Obligation* o = nullptr;
+    for (const auto& ob : ai.obligations)
+      if (ob.kind == ObligationKind::kSetConflictFree) o = &ob;
+    rep.add(Severity::kError, Rule::kAiExecUnproven, loop.head,
+            "abstract may-footprint refutes the no-eviction premise: " +
+                (o ? o->detail : std::string()),
+            "shrink or realign the footprint so every set holds at most "
+            "<associativity> lines");
+  }
+  if (!structure_bad && !ai_conflict) {
+    for (const auto& [pc, why] : ai.exec_unproven) {
+      if (rep.has_error_at(pc)) continue;
+      rep.add(Severity::kError, Rule::kAiExecUnproven, pc,
+              "execution-pass access not provably miss-free: " + why,
+              "derive addresses from loop-invariant li/la bases and keep "
+              "branch decisions independent of loaded data (paper Sec. III)");
+    }
+  }
+  for (const auto& [pc, why] : ai.loading_violations) {
+    if (rep.has_error_at(pc)) continue;
+    rep.add(Severity::kError, Rule::kAiLoadingFootprint, pc, why,
+            "declare the target in the routine's data contract or move the "
+            "access outside the loading/execution loop");
+  }
+  for (const auto& v : ai.overlap_violations) {
+    rep.add(Severity::kError, Rule::kAiCrossCoreOverlap, prog.entry(), v,
+            "re-place the scenario so each graded core's code and data "
+            "regions are private");
+  }
+  if (rep.clean() &&
+      ai.status(ObligationKind::kExecMissFree) == ObligationStatus::kProven) {
+    const Obligation* o = nullptr;
+    for (const auto& ob : ai.obligations)
+      if (ob.kind == ObligationKind::kInterferenceBound) o = &ob;
+    rep.add(Severity::kInfo, Rule::kAiInterferenceBound, loop.head,
+            o ? o->detail : "interference bound computed");
+  }
+
+  return rep;
+}
+
+}  // namespace
+
+Report analyze(const isa::Program& prog, const AnalysisConfig& cfg) {
+  const ProgramModel m = build_model(prog, cfg);
+  Report rep = analyze_impl(prog, cfg, m);
+  rep.annotate(prog);
   return rep;
 }
 

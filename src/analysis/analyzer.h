@@ -14,7 +14,12 @@
 //     lacking the no-write-allocate dummy-load fix-up;
 //  4. structural lints: self-modifying code, fall-through past halt,
 //     signature updates outside the MISR idiom, perf-counter reads with
-//     use_perf_counters=false.
+//     use_perf_counters=false;
+//  5. abstract cache-state interpretation (absint.h): a must/may residency
+//     analysis over the loading/execution phases that upgrades the syntactic
+//     rules to per-configuration proof obligations — exec-loop miss-freedom,
+//     loading footprint containment, cross-core disjointness, and a static
+//     per-access bus-interference bound.
 
 #include <stdexcept>
 #include <string>
@@ -34,6 +39,10 @@ struct AnalysisConfig {
   bool write_allocate = true;
   bool use_perf_counters = false;
 
+  /// Run the abstract cache-state interpreter (layer 2, absint.h) on top of
+  /// the syntactic rules. Only meaningful with check_cache_determinism.
+  bool abstract_interpretation = true;
+
   /// Label of the execution-loop head (e.g. "t0_loop"). When empty or
   /// undefined in the program, the loop is inferred as the outermost
   /// back-edge interval.
@@ -47,7 +56,57 @@ struct AnalysisConfig {
   /// access re-couples the test to the bus/coherence protocol and is an
   /// error.
   std::vector<AddrRange> shared_regions;
+
+  /// Reserved regions (code + data) of the *other* graded cores in the same
+  /// scenario slot. The cross-core disjointness obligation refutes when this
+  /// core's reserved regions overlap any of them. Empty = single-core run,
+  /// obligation not applicable.
+  std::vector<AddrRange> peer_regions;
+
+  /// Cores sharing the bus in the scenario (graded + non-graded), used for
+  /// the worst-case per-access interference bound (requesters = 3 per core).
+  unsigned num_cores = 1;
 };
+
+/// Execution-loop region: [head, back_edge_pc], inclusive.
+struct LoopRegion {
+  u32 head = 0;
+  u32 end = 0;
+  bool found = false;
+};
+
+/// Locate the wrapper's loading/execution loop: prefer `loop_symbol` (taking
+/// the widest back edge returning to it), otherwise the widest merged
+/// back-edge interval.
+LoopRegion find_loop(const isa::Program& prog, const Cfg& g,
+                     const std::string& loop_symbol);
+
+/// Shared orchestration state: the CFG/constprop fixpoint and the resolved
+/// loop structure, computed once and consumed by both the syntactic rules
+/// (analyze) and the abstract interpreter (absint.h) / the trace
+/// cross-validator (trace/xval.h).
+struct ProgramModel {
+  bool entry_ok = false;        // entry decodes inside the image
+  std::optional<Cfg> graph;     // engaged when entry_ok
+  ConstPropResult cp;
+  std::set<u32> isr_roots;      // constant MTVEC targets
+  LoopRegion loop;
+  /// Instruction PCs of the execution-loop footprint: the back-edge interval
+  /// plus ISR code and callees invoked from inside it.
+  std::set<u32> footprint;
+  /// Footprint roots outside [loop.head, loop.end] (callee entries, ISRs).
+  std::set<u32> loop_extra_roots;
+  /// In-loop JALR pcs whose target the interval analysis cannot resolve
+  /// (the footprint may be incomplete; reported as unresolved-address).
+  std::vector<u32> unresolved_calls;
+
+  const Cfg& cfg() const { return *graph; }
+};
+
+/// Build the CFG/constprop fixpoint (constant-resolved JALR and MTVEC
+/// targets become new roots until the reachable set stops growing) and
+/// resolve the loop footprint.
+ProgramModel build_model(const isa::Program& prog, const AnalysisConfig& cfg);
 
 /// Thrown by enforcing callers (build_wrapped with LintMode::kEnforce).
 class AnalysisError : public std::runtime_error {

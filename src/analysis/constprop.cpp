@@ -101,6 +101,12 @@ AVal widen(const AVal& old, const AVal& nv,
 
 ConstPropResult propagate(const Cfg& cfg,
                           const std::vector<AddrRange>& data_regions) {
+  return propagate(cfg, data_regions, {});
+}
+
+ConstPropResult propagate(const Cfg& cfg,
+                          const std::vector<AddrRange>& data_regions,
+                          const std::map<u32, RegState>& root_states) {
   ConstPropResult res;
 
   std::map<u32, RegState> in_state;
@@ -112,7 +118,9 @@ ConstPropResult propagate(const Cfg& cfg,
   std::vector<u32> work;
   for (u32 r : cfg.roots())
     if (cfg.block_at(r)) {
-      in_state[r] = entry_state;
+      const auto rs = root_states.find(r);
+      in_state[r] = rs == root_states.end() ? entry_state : rs->second;
+      in_state[r][R0] = AVal::cst(0);
       work.push_back(r);
     }
 

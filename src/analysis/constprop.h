@@ -74,4 +74,14 @@ struct ConstPropResult {
 ConstPropResult propagate(const Cfg& cfg,
                           const std::vector<AddrRange>& data_regions);
 
+/// As above, but with explicit entry states per root. Roots absent from
+/// `root_states` start from all-top (the default). The abstract interpreter
+/// uses this to run an *iteration-local* pass: rooted at the wrapper-loop
+/// head with only the registers that are globally constant there (the
+/// loop-invariant bases li'd before the loop), it proves which access
+/// addresses are re-derived identically on every loading/execution pass.
+ConstPropResult propagate(const Cfg& cfg,
+                          const std::vector<AddrRange>& data_regions,
+                          const std::map<u32, RegState>& root_states);
+
 }  // namespace detstl::analysis

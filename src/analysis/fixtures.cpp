@@ -151,17 +151,207 @@ Fixture perf_counter() {
   return f;
 }
 
+/// Three constant loads 2 KiB apart: with the default 4 KiB 2-way 32 B-line
+/// D-cache the set index cycles every 2 KiB, so all three lines alias one
+/// set — a guaranteed data self-eviction every iteration.
+Fixture dcache_conflict() {
+  Assembler a(kCodeBase);
+  a.li(R25, kDataBase);
+  a.li(R1, 2);
+  a.label("loop");
+  a.lw(R2, R25, 0);
+  a.lw(R3, R25, 2048);
+  a.lw(R4, R25, 4096);
+  a.addi(R1, R1, -1);
+  a.bne(R1, R0, "loop");
+  a.halt();
+  Fixture f;
+  f.name = "dcache-conflict";
+  f.description = "loop data footprint aliases one D-cache set beyond its "
+                  "associativity (data self-eviction in the execution loop)";
+  f.prog = a.assemble();
+  f.cfg.loop_symbol = "loop";
+  f.cfg.data_regions = {{kDataBase, 8192}};
+  f.expect = Rule::kDcacheConflict;
+  return f;
+}
+
+/// A loop body larger than the whole I-cache: even a perfectly-packed layout
+/// cannot keep it resident (paper rule 2.2: split into cache-sized parts).
+Fixture code_footprint() {
+  Assembler a(kCodeBase);
+  a.li(R1, 2);
+  a.label("loop");
+  for (int i = 0; i < 2100; ++i) a.addi(R2, R2, 1);  // > 8 KiB of loop body
+  a.addi(R1, R1, -1);
+  a.bne(R1, R0, "loop");
+  a.halt();
+  Fixture f;
+  f.name = "code-footprint";
+  f.description = "execution-loop code exceeds the I-cache capacity";
+  f.prog = a.assemble();
+  f.cfg.loop_symbol = "loop";
+  f.expect = Rule::kCodeFootprint;
+  return f;
+}
+
+/// Entry point pointing outside the assembled image (a mis-linked wrapper).
+Fixture unreachable_entry() {
+  Assembler a(kCodeBase);
+  a.li(R1, 1);
+  a.halt();
+  Fixture f;
+  f.name = "unreachable-entry";
+  f.description = "entry point lies outside the program image";
+  f.prog = a.assemble();
+  f.prog.set_entry(kCodeBase - 0x800);
+  f.expect = Rule::kUnreachableEntry;
+  return f;
+}
+
+/// Load through a pointer read from memory: the interval analysis degrades
+/// the address to top, so cache residency cannot be proven.
+Fixture unresolved_address() {
+  Assembler a(kCodeBase);
+  a.li(R25, kDataBase);
+  a.li(R1, 2);
+  a.label("loop");
+  a.lw(R4, R25, 0);  // pointer fetched from memory
+  a.lw(R5, R4, 0);   // address is top
+  a.addi(R1, R1, -1);
+  a.bne(R1, R0, "loop");
+  a.halt();
+  Fixture f;
+  f.name = "unresolved-address";
+  f.description = "in-loop access through a data-dependent pointer the "
+                  "interval analysis cannot bound";
+  f.prog = a.assemble();
+  f.cfg.loop_symbol = "loop";
+  f.cfg.data_regions = {{kDataBase, 64}};
+  f.expect = Rule::kUnresolvedAddress;
+  f.expect_severity = Severity::kWarning;
+  return f;
+}
+
+/// Indirect call through a loaded function pointer inside the loop: the CFG
+/// must degrade the target to top (incomplete footprint warning), not crash.
+Fixture indirect_loop_call() {
+  Assembler a(kCodeBase);
+  a.li(R25, kDataBase);
+  a.li(R1, 2);
+  a.label("loop");
+  a.lw(R4, R25, 0);   // function pointer from memory
+  a.jalr(R31, R4, 0); // target unresolvable
+  a.addi(R1, R1, -1);
+  a.bne(R1, R0, "loop");
+  a.halt();
+  Fixture f;
+  f.name = "indirect-loop-call";
+  f.description = "jalr through a data-dependent pointer inside the loop "
+                  "(footprint may be incomplete)";
+  f.prog = a.assemble();
+  f.cfg.loop_symbol = "loop";
+  f.cfg.data_regions = {{kDataBase, 64}};
+  f.expect = Rule::kUnresolvedAddress;
+  f.expect_severity = Severity::kWarning;
+  return f;
+}
+
+/// Strided walk guarded by a branch on loaded data: the execution pass may
+/// take a different path than the loading pass, so the replay argument
+/// collapses and the strided access cannot be proven miss-free — even though
+/// every syntactic rule (set arithmetic, footprint, NWA) is satisfied.
+Fixture ai_exec_unproven() {
+  Assembler a(kCodeBase);
+  a.li(R25, kDataBase);
+  a.li(R4, kDataBase);
+  a.li(R1, 100);
+  a.label("loop");
+  a.lw(R2, R25, 0);
+  a.beq(R2, R0, "skip");  // decided by loaded data: not iteration-invariant
+  a.addi(R6, R6, 1);
+  a.label("skip");
+  a.lw(R3, R4, 0);        // strided: provable only via the replay argument
+  a.addi(R4, R4, 4);
+  a.addi(R1, R1, -1);
+  a.bne(R1, R0, "loop");
+  a.halt();
+  Fixture f;
+  f.name = "ai-exec-unproven";
+  f.description = "strided access whose miss-freedom rests on the replay "
+                  "argument, defeated by a branch on loaded data";
+  f.prog = a.assemble();
+  f.cfg.loop_symbol = "loop";
+  f.cfg.data_regions = {{kDataBase, 2048}};
+  f.expect = Rule::kAiExecUnproven;
+  return f;
+}
+
+/// Constant load outside every declared data region (and not in the
+/// routine's own code image): the loading pass touches memory the scenario
+/// placement never reserved for this core.
+Fixture ai_loading_footprint() {
+  Assembler a(kCodeBase);
+  a.li(R25, kDataBase);
+  a.li(R5, mem::kSramBase + 0x4000);  // not part of the data contract
+  a.li(R1, 2);
+  a.label("loop");
+  a.lw(R2, R25, 0);
+  a.lw(R3, R5, 0);
+  a.addi(R1, R1, -1);
+  a.bne(R1, R0, "loop");
+  a.halt();
+  Fixture f;
+  f.name = "ai-loading-footprint";
+  f.description = "loading-pass access escapes the declared data regions";
+  f.prog = a.assemble();
+  f.cfg.loop_symbol = "loop";
+  f.cfg.data_regions = {{kDataBase, 64}};
+  f.expect = Rule::kAiLoadingFootprint;
+  return f;
+}
+
+/// A well-formed routine whose reserved data region coincides with a peer
+/// core's: per-core determinism holds, but the scenario placement is unsafe.
+Fixture ai_cross_core_overlap() {
+  Assembler a(kCodeBase);
+  a.li(R25, kDataBase);
+  a.li(R1, 2);
+  a.label("loop");
+  a.lw(R2, R25, 0);
+  a.addi(R1, R1, -1);
+  a.bne(R1, R0, "loop");
+  a.halt();
+  Fixture f;
+  f.name = "ai-cross-core-overlap";
+  f.description = "reserved data region overlaps a peer core's region";
+  f.prog = a.assemble();
+  f.cfg.loop_symbol = "loop";
+  f.cfg.data_regions = {{kDataBase, 64}};
+  f.cfg.peer_regions = {{kDataBase, 64}};
+  f.expect = Rule::kAiCrossCoreOverlap;
+  return f;
+}
+
 }  // namespace
 
 std::vector<Fixture> negative_fixtures() {
   std::vector<Fixture> fs;
   fs.push_back(set_conflict());
+  fs.push_back(dcache_conflict());
+  fs.push_back(code_footprint());
   fs.push_back(noncacheable());
   fs.push_back(nwa_dummy_load());
   fs.push_back(halt_fallthrough());
   fs.push_back(self_modifying());
   fs.push_back(signature_discipline());
   fs.push_back(perf_counter());
+  fs.push_back(unresolved_address());
+  fs.push_back(indirect_loop_call());
+  fs.push_back(unreachable_entry());
+  fs.push_back(ai_exec_unproven());
+  fs.push_back(ai_loading_footprint());
+  fs.push_back(ai_cross_core_overlap());
   return fs;
 }
 

@@ -1,0 +1,24 @@
+#pragma once
+// SARIF 2.1.0 serialisation of lint reports (stlint --sarif). One run per
+// invocation; every catalogue rule is listed in the driver so viewers can
+// show rule metadata even for clean runs, and each diagnostic becomes a
+// result whose logical location carries the symbol+PC (the routines have no
+// source files — they are generated programs — so physical locations anchor
+// to the registry source with the PC in the message).
+
+#include <string>
+#include <vector>
+
+#include "analysis/diag.h"
+
+namespace detstl::analysis {
+
+struct SarifTarget {
+  std::string name;           // e.g. "alu [cache, write-allocate]"
+  const Report* report;
+};
+
+/// Serialise the targets' diagnostics as one SARIF 2.1.0 run.
+std::string to_sarif(const std::vector<SarifTarget>& targets);
+
+}  // namespace detstl::analysis

@@ -1,0 +1,70 @@
+#pragma once
+// Scenario-matrix proofs (stlint --matrix): sweep the abstract cache-state
+// interpreter (analysis/absint.h) over cache geometry x write-allocate mode
+// x active-core count x flash/SRAM placement, and require every bundled
+// routine to discharge its determinism obligations at every point. The
+// verdict table is stable text (tests/golden/stlint_matrix.txt) so any
+// wrapper or analysis change that weakens a proof shows up as a golden diff.
+//
+// Each matrix point grades *every* active core: core c's wrapped program is
+// assembled at its own placement and analysed with the other cores' reserved
+// regions as peers, so the cross-core-disjointness obligation is exercised
+// for real multi-core layouts, not just single-core ones.
+
+#include <string>
+#include <vector>
+
+#include "analysis/absint.h"
+#include "core/stl.h"
+
+namespace detstl::core {
+
+/// One swept configuration.
+struct MatrixPoint {
+  mem::MemSystemConfig mem;
+  bool write_allocate = true;
+  unsigned num_cores = 1;   // graded cores sharing the bus (1..3)
+  unsigned placement = 0;   // 0 = quickstart bases, 1 = shifted variant
+};
+
+/// Verdict for one (configuration, routine, core) triple.
+struct MatrixFailure {
+  std::string routine;
+  unsigned core = 0;
+  std::string detail;  // first refuted/unproven obligation
+};
+
+struct MatrixCell {
+  MatrixPoint point;
+  unsigned proofs = 0;    // (routine, core) pairs analysed
+  unsigned proven = 0;    // ... with every obligation proven
+  u32 d_max = 0;          // worst-case non-graded-core bus delay (cycles)
+  std::vector<MatrixFailure> failures;
+};
+
+struct MatrixReport {
+  std::vector<MatrixCell> cells;
+  unsigned configurations() const { return static_cast<unsigned>(cells.size()); }
+  unsigned proven_configurations() const;
+  bool all_proven() const;
+};
+
+/// The default sweep: I-cache {8,16,32} KiB x {2,4} ways x {16,32} B lines
+/// (D-cache at half the size, same ways/line), write-allocate {on,off},
+/// {1,2,3} graded cores, {2} placements — 144 configurations.
+std::vector<MatrixPoint> default_matrix_grid();
+
+/// Placement -> per-core build environment (placement 0 is quickstart_env).
+BuildEnv matrix_env(const MatrixPoint& p, unsigned core_id);
+
+/// Run the sweep. Routines defaults to the whole registry when empty.
+MatrixReport run_matrix(const std::vector<MatrixPoint>& grid,
+                        const std::vector<const RoutineEntry*>& routines);
+
+/// Stable fixed-width verdict table (the golden artefact).
+std::string format_matrix(const MatrixReport& rep);
+
+/// Machine-readable variant (stlint --matrix --json).
+std::string matrix_json(const MatrixReport& rep);
+
+}  // namespace detstl::core

@@ -55,6 +55,21 @@ inline u32 default_data_base(unsigned core_id) {
   return mem::kSramBase + 0x8000 + core_id * 0x1000;
 }
 
+/// Per-core build environment of the tools' quickstart scenario (detscope
+/// run, stlint --xval, the scenario matrix's placement 0): each core's
+/// cache-wrapped copy of the routine at a disjoint flash/SRAM placement.
+/// Both sides of the static<->dynamic cross-validation must assemble from
+/// the same environment for the prediction to be about the observed program.
+inline BuildEnv quickstart_env(unsigned core_id, bool write_allocate) {
+  BuildEnv env;
+  env.core_id = core_id;
+  env.kind = static_cast<isa::CoreKind>(core_id);
+  env.code_base = mem::kFlashBase + 0x2000 + core_id * 0x40000;
+  env.data_base = default_data_base(core_id);
+  env.write_allocate = write_allocate;
+  return env;
+}
+
 /// Catalogue of the built-in self-test routines (core/routines.h), shared by
 /// the tools (stlint, detscope) so routine names stay consistent.
 struct RoutineEntry {

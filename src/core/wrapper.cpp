@@ -277,6 +277,14 @@ std::string emit_wrapped(Assembler& a, const SelfTestRoutine& r, WrapperKind w,
   return p + "_entry";
 }
 
+Program assemble_wrapped(const SelfTestRoutine& r, WrapperKind w,
+                         const BuildEnv& env, u32 golden) {
+  Assembler a(env.code_base);
+  const std::string entry = emit_wrapped(a, r, w, env, golden, "t0");
+  a.set_entry(entry);
+  return a.assemble();
+}
+
 BuiltTest build_wrapped(const SelfTestRoutine& r, WrapperKind w, const BuildEnv& env) {
   auto assemble = [&](u32 golden, bool as_sub) {
     BuildEnv e = env;

@@ -99,6 +99,13 @@ std::string emit_wrapped(isa::Assembler& a, const SelfTestRoutine& r,
 /// splitting the routine).
 BuiltTest build_wrapped(const SelfTestRoutine& r, WrapperKind w, const BuildEnv& env);
 
+/// Assemble without the calibration run — the static-analysis fast path
+/// (stlint --matrix sweeps hundreds of placements). The image is bit-for-bit
+/// what build_wrapped() produces except for the expected-signature constant,
+/// which is immaterial to every cache-residency argument.
+isa::Program assemble_wrapped(const SelfTestRoutine& r, WrapperKind w,
+                              const BuildEnv& env, u32 golden = 0);
+
 /// A routine built twice for the supervisor's degradation ladder
 /// (runtime/supervisor.h): the cache-based program plus an uncacheable plain
 /// rebuild at `fallback_code_base` — the paper's CacheCfg fallback path.

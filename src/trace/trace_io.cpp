@@ -1,0 +1,90 @@
+#include "trace/trace_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace detstl::trace {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'S', 'E', 'V'};
+constexpr std::size_t kRecordBytes = 24;
+
+void put_u32(u32 v, std::string& out) {
+  for (unsigned i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+u64 get_u64(const unsigned char* p, unsigned bytes) {
+  u64 v = 0;
+  for (unsigned i = 0; i < bytes; ++i) v |= static_cast<u64>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+bool write_events_file(const std::string& path,
+                       const std::vector<Event>& events) {
+  std::string blob;
+  blob.reserve(16 + events.size() * kRecordBytes);
+  blob.append(kMagic, sizeof kMagic);
+  put_u32(kEventFileVersion, blob);
+  const u64 count = events.size();
+  for (unsigned i = 0; i < 8; ++i)
+    blob.push_back(static_cast<char>(count >> (8 * i)));
+  blob += serialize(events);
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+EventFileResult read_events_file(const std::string& path) {
+  EventFileResult r;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    r.error = "cannot open " + path;
+    return r;
+  }
+  std::string blob;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) blob.append(buf, n);
+  std::fclose(f);
+
+  if (blob.size() < 16 || std::memcmp(blob.data(), kMagic, sizeof kMagic) != 0) {
+    r.error = path + ": not a DSEV event file";
+    return r;
+  }
+  const auto* p = reinterpret_cast<const unsigned char*>(blob.data());
+  const u32 version = static_cast<u32>(get_u64(p + 4, 4));
+  if (version != kEventFileVersion) {
+    r.error = path + ": unsupported event-file version " +
+              std::to_string(version);
+    return r;
+  }
+  const u64 count = get_u64(p + 8, 8);
+  if (blob.size() != 16 + count * kRecordBytes) {
+    r.error = path + ": truncated (" + std::to_string(blob.size()) +
+              " bytes for " + std::to_string(count) + " records)";
+    return r;
+  }
+  r.events.reserve(static_cast<std::size_t>(count));
+  for (u64 i = 0; i < count; ++i) {
+    const unsigned char* rec = p + 16 + i * kRecordBytes;
+    Event e;
+    e.cycle = get_u64(rec, 8);
+    e.kind = static_cast<EventKind>(rec[8]);
+    e.core = rec[9];
+    e.unit = rec[10];
+    e.flags = rec[11];
+    e.addr = static_cast<u32>(get_u64(rec + 12, 4));
+    e.a = static_cast<u32>(get_u64(rec + 16, 4));
+    e.b = static_cast<u32>(get_u64(rec + 20, 4));
+    r.events.push_back(e);
+  }
+  r.ok = true;
+  return r;
+}
+
+}  // namespace detstl::trace

@@ -1,0 +1,35 @@
+#pragma once
+// Event-stream files: persist a captured detscope event stream (capture.h)
+// so the static<->dynamic cross-validator (xval.h, stlint --xval) can replay
+// a run recorded by a different process — e.g. a CI artifact.
+//
+// Format "DSEV": a 16-byte little-endian header
+//   magic   4 B  "DSEV"
+//   version 4 B  currently 1
+//   count   8 B  number of records
+// followed by `count` 24-byte records, byte-identical to capture.h's
+// serialize() (so two files from "the same execution" are identical too).
+
+#include <string>
+#include <vector>
+
+#include "trace/capture.h"
+
+namespace detstl::trace {
+
+inline constexpr u32 kEventFileVersion = 1;
+
+/// Write `events` to `path`. Returns false on I/O failure.
+bool write_events_file(const std::string& path,
+                       const std::vector<Event>& events);
+
+struct EventFileResult {
+  bool ok = false;
+  std::string error;
+  std::vector<Event> events;
+};
+
+/// Read an event file back; rejects bad magic / version / truncation.
+EventFileResult read_events_file(const std::string& path);
+
+}  // namespace detstl::trace

@@ -1,0 +1,62 @@
+#pragma once
+// Static<->dynamic cross-validation (stlint --xval): replay a captured
+// detscope event stream (trace_io.h) against the abstract interpreter's
+// predictions (analysis/absint.h) for the same scenario:
+//
+//   * execution loop   predicted miss set must equal the observed one —
+//                      for a proven routine both are empty, so any
+//                      kCacheMiss inside a core's execution-loop window
+//                      refutes the static proof (or the simulator);
+//   * loading loop     every observed refill line must lie in the static
+//                      may-footprint (one sequential-fetch-ahead line of
+//                      slack: the pipeline fetches past a taken branch);
+//   * bus interference every kBusGrant wait must stay within the static
+//                      per-access bound d_max.
+//
+// Both sides assemble the per-core program from core::quickstart_env, so the
+// prediction is about the very image the recorded run executed (the golden
+// signature constant is the only difference and carries no address).
+
+#include <string>
+#include <vector>
+
+#include "trace/event.h"
+
+namespace detstl::trace {
+
+struct XvalOptions {
+  std::string routine = "fwd-pc";
+  unsigned cores = 3;
+  bool write_allocate = true;
+};
+
+/// Verdict for one graded core.
+struct CoreXval {
+  unsigned core = 0;
+  bool statically_proven = false;  // all absint obligations discharged
+  bool exec_window_seen = false;   // the trace reached the execution loop
+  std::size_t exec_misses = 0;
+  std::size_t loading_refills = 0;
+  std::size_t unpredicted_refills = 0;
+  std::size_t predicted_lines = 0;  // |may-footprint| (I + D lines)
+  u32 max_bus_wait = 0;
+  std::vector<std::string> violations;
+  bool ok() const {
+    return statically_proven && exec_window_seen && violations.empty();
+  }
+};
+
+struct XvalResult {
+  bool ok = false;  // inputs were usable (routine known, trace non-empty)
+  std::string error;
+  u32 d_max = 0;  // static per-access interference bound (cycles)
+  std::vector<CoreXval> cores;
+  bool passed() const;
+};
+
+XvalResult cross_validate(const std::vector<Event>& events,
+                          const XvalOptions& opt);
+
+std::string format(const XvalResult& r);
+
+}  // namespace detstl::trace

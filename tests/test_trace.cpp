@@ -25,6 +25,8 @@
 #include "trace/chrome_trace.h"
 #include "trace/event.h"
 #include "trace/metrics.h"
+#include "trace/trace_io.h"
+#include "trace/xval.h"
 
 namespace detstl {
 namespace {
@@ -519,6 +521,119 @@ TEST(CampaignAudit, ByteIdenticalAcrossThreadCounts) {
   EXPECT_TRUE(r.passed()) << r.detail;
   EXPECT_GT(r.events, 0u);
   ASSERT_EQ(r.thread_counts.size(), 3u);
+}
+
+// ----------------------------------------------------------------------------
+// Event-stream files (trace_io.h)
+// ----------------------------------------------------------------------------
+
+TEST(TraceIo, EventFileRoundTripsByteExactly) {
+  std::vector<trace::Event> events;
+  for (unsigned i = 0; i < 37; ++i) {
+    trace::Event e;
+    e.cycle = 1000 + i;
+    e.kind = i % 2 ? trace::EventKind::kCacheMiss : trace::EventKind::kBusGrant;
+    e.core = static_cast<u8>(i % 3);
+    e.unit = static_cast<u8>(i % 2);
+    e.flags = static_cast<u8>(i & 1);
+    e.addr = 0x10002000 + i * 32;
+    e.a = i;
+    e.b = ~i;
+    events.push_back(e);
+  }
+  const std::string path = ::testing::TempDir() + "roundtrip.dsev";
+  ASSERT_TRUE(trace::write_events_file(path, events));
+  const auto r = trace::read_events_file(path);
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.events.size(), events.size());
+  EXPECT_EQ(trace::serialize(r.events), trace::serialize(events));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, RejectsGarbageAndTruncation) {
+  const std::string path = ::testing::TempDir() + "garbage.dsev";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not an event file at all", f);
+  std::fclose(f);
+  EXPECT_FALSE(trace::read_events_file(path).ok);
+  EXPECT_FALSE(trace::read_events_file(path + ".missing").ok);
+  std::remove(path.c_str());
+}
+
+// ----------------------------------------------------------------------------
+// Static<->dynamic cross-validation (xval.h)
+// ----------------------------------------------------------------------------
+
+TEST(Xval, QuickstartRunMatchesStaticPrediction) {
+  // Record the 1-core quickstart scenario in-process, then replay it against
+  // the abstract interpreter: predicted exec miss set == observed (empty),
+  // loading refills inside the may-footprint, bus waits within d_max.
+  const auto routine = core::find_routine("alu")->make();
+  const auto bt = core::build_wrapped(*routine, core::WrapperKind::kCacheBased,
+                                      core::quickstart_env(0, true));
+  soc::Soc soc;
+  soc.load_program(bt.prog);
+  soc.set_boot(0, bt.prog.entry());
+  for (unsigned c = 1; c < 3; ++c) soc.set_active(c, false);
+  trace::StreamCapture capture;
+  soc.set_trace_sink(&capture);
+  soc.reset();
+  ASSERT_FALSE(soc.run(5'000'000).timed_out);
+
+  trace::XvalOptions opt;
+  opt.routine = "alu";
+  opt.cores = 1;
+  const auto r = trace::cross_validate(capture.events(), opt);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.passed()) << trace::format(r);
+  ASSERT_EQ(r.cores.size(), 1u);
+  EXPECT_TRUE(r.cores[0].statically_proven);
+  EXPECT_EQ(r.cores[0].exec_misses, 0u);
+  EXPECT_EQ(r.cores[0].unpredicted_refills, 0u);
+  EXPECT_GT(r.cores[0].loading_refills, 0u);
+  EXPECT_EQ(r.d_max, 44u);  // 1 core -> 3 requesters
+}
+
+TEST(Xval, ExecLoopMissRefutesThePrediction) {
+  // Inject a synthetic execution-loop miss into an otherwise-passing trace:
+  // the cross-validator must flag it (predicted miss set is empty).
+  const auto routine = core::find_routine("alu")->make();
+  const auto bt = core::build_wrapped(*routine, core::WrapperKind::kCacheBased,
+                                      core::quickstart_env(0, true));
+  soc::Soc soc;
+  soc.load_program(bt.prog);
+  soc.set_boot(0, bt.prog.entry());
+  for (unsigned c = 1; c < 3; ++c) soc.set_active(c, false);
+  trace::StreamCapture capture;
+  soc.set_trace_sink(&capture);
+  soc.reset();
+  ASSERT_FALSE(soc.run(5'000'000).timed_out);
+
+  std::vector<trace::Event> events = capture.events();
+  // Place the fake miss right after the execution-loop phase marker.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events[i].kind == trace::EventKind::kPhaseBegin &&
+        static_cast<trace::Phase>(events[i].unit) ==
+            trace::Phase::kExecutionLoop) {
+      trace::Event miss;
+      miss.cycle = events[i].cycle + 1;
+      miss.kind = trace::EventKind::kCacheMiss;
+      miss.core = 0;
+      miss.unit = 1;
+      miss.addr = 0x20008000;
+      events.insert(events.begin() + static_cast<std::ptrdiff_t>(i) + 1, miss);
+      break;
+    }
+  }
+
+  trace::XvalOptions opt;
+  opt.routine = "alu";
+  opt.cores = 1;
+  const auto r = trace::cross_validate(events, opt);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_FALSE(r.passed());
+  EXPECT_EQ(r.cores[0].exec_misses, 1u);
 }
 
 }  // namespace

@@ -26,8 +26,10 @@
 #include "core/stl.h"
 #include "exp/experiments.h"
 #include "trace/audit.h"
+#include "trace/capture.h"
 #include "trace/chrome_trace.h"
 #include "trace/metrics.h"
+#include "trace/trace_io.h"
 
 namespace {
 
@@ -40,7 +42,7 @@ void usage(std::FILE* os) {
       "\n"
       "usage:\n"
       "  detscope run [--routine NAME] [--cores N] [--wa on|off]\n"
-      "               [--trace FILE] [--hits] [--beats]\n"
+      "               [--trace FILE] [--events FILE] [--hits] [--beats]\n"
       "  detscope audit [--routine NAME|all] [--wa on|off]\n"
       "  detscope campaign-audit [--module fwd|hdcu|icu] [--threads A,B,C]\n"
       "               [--stride N]\n"
@@ -50,6 +52,7 @@ void usage(std::FILE* os) {
       "  --cores N        active cores, 1-3 (default: 3)\n"
       "  --wa on|off      D$ write-allocate policy (default: on)\n"
       "  --trace FILE     write the run as Chrome-trace JSON\n"
+      "  --events FILE    write the raw event stream (DSEV) for stlint --xval\n"
       "  --hits           include per-access cache hits in the JSON\n"
       "  --beats          include per-word bus data beats in the JSON\n"
       "\n"
@@ -85,6 +88,7 @@ int cmd_run(const std::vector<std::string>& args) {
   unsigned cores = 3;
   bool wa = true;
   std::string trace_path;
+  std::string events_path;
   bool hits = false, beats = false;
   for (std::size_t i = 0; i < args.size(); ++i) {
     const auto need = [&]() -> const std::string& {
@@ -99,6 +103,7 @@ int cmd_run(const std::vector<std::string>& args) {
       cores = cli::require_unsigned("detscope", "--cores", need(), 1, 3);
     else if (args[i] == "--wa") wa = require_on_off("--wa", need());
     else if (args[i] == "--trace") trace_path = need();
+    else if (args[i] == "--events") events_path = need();
     else if (args[i] == "--hits") hits = true;
     else if (args[i] == "--beats") beats = true;
     else {
@@ -111,14 +116,8 @@ int cmd_run(const std::vector<std::string>& args) {
   const auto routine = routine_or_die(routine_name)->make();
   std::vector<core::BuiltTest> tests;
   for (unsigned c = 0; c < cores; ++c) {
-    core::BuildEnv env;
-    env.core_id = c;
-    env.kind = static_cast<isa::CoreKind>(c);
-    env.code_base = mem::kFlashBase + 0x2000 + c * 0x40000;
-    env.data_base = core::default_data_base(c);
-    env.write_allocate = wa;
-    tests.push_back(
-        core::build_wrapped(*routine, core::WrapperKind::kCacheBased, env));
+    tests.push_back(core::build_wrapped(*routine, core::WrapperKind::kCacheBased,
+                                        core::quickstart_env(c, wa)));
   }
 
   soc::SocConfig cfg;
@@ -133,10 +132,12 @@ int cmd_run(const std::vector<std::string>& args) {
   trace::FanoutSink fan;
   trace::MetricsRegistry metrics;
   trace::ChromeTraceWriter writer;
+  trace::StreamCapture capture;
   writer.set_include_hits(hits);
   writer.set_include_beats(beats);
   fan.add(&metrics);
   if (!trace_path.empty()) fan.add(&writer);
+  if (!events_path.empty()) fan.add(&capture);
   soc.set_trace_sink(&fan);
 
   soc.reset();
@@ -185,6 +186,14 @@ int cmd_run(const std::vector<std::string>& args) {
     }
     std::printf("trace written to %s (%zu events)\n", trace_path.c_str(),
                 writer.size());
+  }
+  if (!events_path.empty()) {
+    if (!trace::write_events_file(events_path, capture.events())) {
+      std::fprintf(stderr, "detscope: cannot write %s\n", events_path.c_str());
+      return 1;
+    }
+    std::printf("event stream written to %s (%zu events)\n",
+                events_path.c_str(), capture.events().size());
   }
   return all_pass && violations.empty() ? 0 : 1;
 }

@@ -2,23 +2,33 @@
 //
 // Lints the bundled STL routines exactly as build_wrapped() would (same
 // wrapper emission, same analysis config), or runs the purpose-built
-// negative fixtures that demonstrate each rule class. Exit codes:
-//   0  no error-severity findings
-//   1  at least one error-severity finding
+// negative fixtures that demonstrate each rule class. Beyond the per-routine
+// report it drives the abstract interpreter's scenario-matrix proofs
+// (--matrix) and the static<->dynamic cross-validation against a recorded
+// detscope event stream (--xval). Exit codes:
+//   0  no error-severity findings / all obligations proven / xval passed
+//   1  at least one error-severity finding or failed proof
 //   2  usage error / unknown routine / build failure
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <iostream>
+#include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/fixtures.h"
+#include "analysis/sarif.h"
 #include "cli_util.h"
 #include "core/routines.h"
+#include "core/scenario_matrix.h"
 #include "core/stl.h"
 #include "core/wrapper.h"
+#include "trace/trace_io.h"
+#include "trace/xval.h"
 
 namespace {
 
@@ -38,6 +48,11 @@ struct Options {
   bool list = false;
   bool fixtures_selfcheck = false;
   std::string fixture;
+  bool matrix = false;
+  std::string golden;      // --matrix: compare the table to this golden file
+  std::string sarif_path;  // routine mode: write a SARIF 2.1.0 log
+  std::string xval_path;   // cross-validate this DSEV event stream
+  unsigned cores = 3;      // --xval: graded cores in the recorded scenario
 };
 
 void usage(std::ostream& os) {
@@ -48,7 +63,15 @@ void usage(std::ostream& os) {
         "  stlint --list               list routines and fixtures\n"
         "  stlint --fixture NAME       lint one negative fixture (demo)\n"
         "  stlint --fixtures           self-check: every fixture must trip "
-        "its rule\n"
+        "its rule,\n"
+        "                              and every rule class must be covered\n"
+        "  stlint --matrix             scenario-matrix proofs: sweep cache "
+        "geometry x\n"
+        "                              cores x placement, verdict table on "
+        "stdout\n"
+        "  stlint --xval FILE          replay a detscope event stream "
+        "(--events FILE)\n"
+        "                              against the static prediction\n"
         "\n"
         "options:\n"
         "  --routine NAME   lint only this routine (repeatable)\n"
@@ -58,7 +81,10 @@ void usage(std::ostream& os) {
         "  --core K         core kind: A | B | C           (default: A)\n"
         "  -q, --quiet      only print per-target verdicts\n"
         "  -v, --verbose    print full reports even when clean\n"
-        "  --json           machine-readable report on stdout (routine mode)\n"
+        "  --json           machine-readable report on stdout\n"
+        "  --sarif FILE     also write the report as SARIF 2.1.0\n"
+        "  --golden FILE    --matrix: require the table to match this file\n"
+        "  --cores N        --xval: graded cores in the recording (default 3)\n"
         "  --version        print suite + checkpoint schema version\n";
 }
 
@@ -123,6 +149,24 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = next();
       if (!v) return false;
       opt.fixture = v;
+    } else if (a == "--matrix") {
+      opt.matrix = true;
+    } else if (a == "--golden") {
+      const char* v = next();
+      if (!v) return false;
+      opt.golden = v;
+    } else if (a == "--sarif") {
+      const char* v = next();
+      if (!v) return false;
+      opt.sarif_path = v;
+    } else if (a == "--xval") {
+      const char* v = next();
+      if (!v) return false;
+      opt.xval_path = v;
+    } else if (a == "--cores") {
+      const char* v = next();
+      if (!v) return false;
+      opt.cores = cli::require_unsigned("stlint", "--cores", v, 1, 3);
     } else if (a == "--version") {
       cli::print_version("stlint");
       std::exit(0);
@@ -174,6 +218,7 @@ int run_fixture(const Options& opt) {
 
 int run_fixtures_selfcheck() {
   int bad = 0;
+  std::set<analysis::Rule> covered;
   for (const auto& f : analysis::negative_fixtures()) {
     const analysis::Report rep = analysis::analyze(f.prog, f.cfg);
     const bool tripped =
@@ -181,13 +226,65 @@ int run_fixtures_selfcheck() {
         (f.expect_severity != analysis::Severity::kError || !rep.clean());
     std::cout << (tripped ? "TRIPPED " : "MISSED  ") << f.name << " ["
               << analysis::rule_id(f.expect) << "]\n";
+    if (tripped) covered.insert(f.expect);
     if (!tripped) {
       std::cout << rep.format();
       ++bad;
     }
   }
-  std::cout << (bad ? "FAIL" : "OK") << ": fixture self-check\n";
+  // Catalogue coverage: every rule class must be provably trippable by a
+  // bundled fixture. The interference bound is the one informational rule
+  // that fires only on *clean* routines, so it is exempt here.
+  for (const analysis::Rule r : analysis::rule_catalogue()) {
+    if (r == analysis::Rule::kAiInterferenceBound) continue;
+    if (covered.count(r) == 0) {
+      std::cout << "UNCOVERED rule " << analysis::rule_id(r)
+                << " — no fixture trips it\n";
+      ++bad;
+    }
+  }
+  std::cout << (bad ? "FAIL" : "OK")
+            << ": fixture self-check (every rule class covered)\n";
   return bad ? 1 : 0;
+}
+
+int run_matrix_cmd(const Options& opt,
+                   const std::vector<const RoutineEntry*>& targets) {
+  const auto rep = core::run_matrix(core::default_matrix_grid(), targets);
+  const std::string table = core::format_matrix(rep);
+  std::cout << (opt.json ? core::matrix_json(rep) : table);
+  if (!opt.golden.empty()) {
+    std::ifstream in(opt.golden, std::ios::binary);
+    if (!in) {
+      std::cerr << "stlint: cannot read golden file " << opt.golden << "\n";
+      return 2;
+    }
+    std::ostringstream want;
+    want << in.rdbuf();
+    if (want.str() != table) {
+      std::cerr << "stlint: matrix table differs from golden " << opt.golden
+                << " (regenerate with: stlint --matrix > " << opt.golden
+                << ")\n";
+      return 1;
+    }
+  }
+  return rep.all_proven() ? 0 : 1;
+}
+
+int run_xval(const Options& opt) {
+  const auto file = trace::read_events_file(opt.xval_path);
+  if (!file.ok) {
+    std::cerr << "stlint: " << file.error << "\n";
+    return 2;
+  }
+  trace::XvalOptions xo;
+  if (!opt.routines.empty()) xo.routine = opt.routines.front();
+  xo.cores = opt.cores;
+  xo.write_allocate = opt.wa != 0;  // 'both' records as write-allocate on
+  const auto r = trace::cross_validate(file.events, xo);
+  std::cout << trace::format(r);
+  if (!r.ok) return 2;
+  return r.passed() ? 0 : 1;
 }
 
 }  // namespace
@@ -208,6 +305,7 @@ int main(int argc, char** argv) {
   }
   if (!opt.fixture.empty()) return run_fixture(opt);
   if (opt.fixtures_selfcheck) return run_fixtures_selfcheck();
+  if (!opt.xval_path.empty()) return run_xval(opt);
 
   const auto registry = routine_registry();
   std::vector<const RoutineEntry*> targets;
@@ -226,6 +324,7 @@ int main(int argc, char** argv) {
       targets.push_back(found);
     }
   }
+  if (opt.matrix) return run_matrix_cmd(opt, targets);
 
   std::vector<bool> wa_modes;
   if (opt.wa == 2) wa_modes = {true, false};
@@ -233,7 +332,9 @@ int main(int argc, char** argv) {
 
   unsigned errors = 0;
   bool first_target = true;
-  if (opt.json) std::cout << "{\"targets\":[";
+  // Kept alive for --sarif: (display name, report) per linted target.
+  std::vector<std::pair<std::string, analysis::Report>> kept;
+  if (opt.json) std::cout << "{\"schema\":2,\"targets\":[";
   for (const RoutineEntry* t : targets) {
     for (bool wa : wa_modes) {
       const auto routine = t->make();
@@ -252,6 +353,12 @@ int main(int argc, char** argv) {
       }
       const bool clean = bt.lint.clean();
       errors += bt.lint.errors();
+      if (!opt.sarif_path.empty()) {
+        kept.emplace_back(std::string(t->name) + " [" +
+                              core::wrapper_name(opt.wrapper) + ", " +
+                              (wa ? "wa" : "nwa") + "]",
+                          bt.lint);
+      }
       if (opt.json) {
         if (!first_target) std::cout << ",";
         first_target = false;
@@ -270,6 +377,7 @@ int main(int argc, char** argv) {
           std::cout << "\n    {\"severity\":\""
                     << analysis::severity_name(d.severity) << "\",\"rule\":\""
                     << analysis::rule_id(d.rule) << "\",\"pc\":\"" << pc
+                    << "\",\"symbol\":\"" << json_escape(d.where)
                     << "\",\"message\":\"" << json_escape(d.message)
                     << "\",\"hint\":\"" << json_escape(d.hint) << "\"}";
         }
@@ -288,5 +396,15 @@ int main(int argc, char** argv) {
   if (opt.json)
     std::cout << "\n],\"errors\":" << errors
               << ",\"clean\":" << (errors ? "false" : "true") << "}\n";
+  if (!opt.sarif_path.empty()) {
+    std::vector<analysis::SarifTarget> st;
+    st.reserve(kept.size());
+    for (const auto& [name, rep] : kept) st.push_back({name, &rep});
+    std::ofstream out(opt.sarif_path, std::ios::binary);
+    if (!out || !(out << analysis::to_sarif(st))) {
+      std::cerr << "stlint: cannot write " << opt.sarif_path << "\n";
+      return 2;
+    }
+  }
   return errors ? 1 : 0;
 }
