@@ -84,11 +84,13 @@ void print_row(TextTable& t, const char* variant, const StabilityResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace detstl;
+  const auto opts = bench::parse_options(argc, argv);
   bench::print_header("Methodology ablations (design rules of Sec. III)",
                       "not a paper exhibit: validates each rule's necessity");
   const auto routine = core::make_fwd_test(/*with_perf_counters=*/true);
+  bench::PerfSession perf(opts, "ablation");
   bool ok = true;
 
   {
@@ -107,6 +109,7 @@ int main() {
     ok &= two.distinct_signatures == 1 && two.passes == two.runs;
     ok &= three.distinct_signatures == 1 && three.passes == three.runs;
   }
+  perf.mark_phase("loading_loop");
 
   {
     TextTable t("B. No-write-allocate dummy-load rule");
@@ -129,6 +132,7 @@ int main() {
     ok &= nwa_fix.distinct_signatures == 1 && nwa_fix.passes == nwa_fix.runs;
     ok &= nwa_broken.distinct_signatures > 1 || nwa_broken.passes < nwa_broken.runs;
   }
+  perf.mark_phase("nwa_rule");
 
   {
     TextTable t("C. Cache-fitting rule (Sec. III step 2.2)");
@@ -171,7 +175,8 @@ int main() {
     if (rejected) std::printf("rejection message: %s\n", msg.c_str());
     ok &= rejected && halves_ok;
   }
+  perf.mark_phase("cache_fitting");
 
   std::printf("\nablation checks: %s\n", ok ? "OK" : "MISMATCH");
-  return ok ? 0 : 1;
+  return perf.finish(ok ? 0 : 1);
 }

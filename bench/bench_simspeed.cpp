@@ -1,9 +1,24 @@
 // Simulator micro-benchmarks (google-benchmark): SoC cycle throughput in the
 // regimes the experiments exercise, netlist evaluation, and the end-to-end
 // wrapped-routine build. Not a paper exhibit; tracks the harness itself.
+//
+// The sim-MHz probe (--probe-only / --metrics-out) is the CI perf-gate KPI
+// workload: a FIXED amount of simulated work — the cache-based routine to
+// halt on one core, then the plain routines to halt on all three contended
+// cores, `--probe-reps` times — so the "sim" subtree of BENCH_simspeed.json
+// is byte-identical run to run and only the host timings move. The gbench
+// timings stay for interactive use; the gate compares probe runs only.
+//
+//   bench_simspeed --probe-only --metrics-out BENCH_simspeed.json
+//   stlperf check BENCH_simspeed.json --baseline bench/baselines/BENCH_simspeed.json
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
 #include "core/routines.h"
 #include "core/wrapper.h"
 #include "exp/experiments.h"
@@ -21,6 +36,51 @@ core::BuiltTest build_test(unsigned core_id, core::WrapperKind w) {
   env.data_base = core::default_data_base(core_id);
   const auto routine = core::make_fwd_test(false);
   return core::build_wrapped(*routine, w, env);
+}
+
+u64 run_single_core_cached(const core::BuiltTest& bt) {
+  soc::Soc s;
+  s.load_program(bt.prog);
+  s.set_boot(0, bt.prog.entry());
+  s.reset();
+  return s.run(10'000'000).cycles;
+}
+
+u64 run_triple_core_contended(const std::vector<core::BuiltTest>& tests) {
+  soc::Soc s;
+  for (const auto& t : tests) {
+    s.load_program(t.prog);
+    s.set_boot(t.env.core_id, t.prog.entry());
+  }
+  s.reset();
+  return s.run(20'000'000).cycles;
+}
+
+/// Fixed-work KPI probe; returns the bench exit code.
+int run_probe(const bench::BenchOptions& opts, unsigned reps) {
+  // Build the routines BEFORE the session starts: the KPI measures the
+  // simulator's cycle throughput, not the assembler/wrapper builder.
+  const auto cached = build_test(0, core::WrapperKind::kCacheBased);
+  std::vector<core::BuiltTest> plain;
+  for (unsigned c = 0; c < 3; ++c)
+    plain.push_back(build_test(c, core::WrapperKind::kPlain));
+
+  bench::PerfSession perf(opts, "simspeed");
+  perf.hash_knob("probe_reps", reps);
+  u64 single = 0, triple = 0;
+  for (unsigned r = 0; r < reps; ++r) single = run_single_core_cached(cached);
+  perf.mark_phase("single_core_cached");
+  for (unsigned r = 0; r < reps; ++r) triple = run_triple_core_contended(plain);
+  perf.mark_phase("triple_core_contended");
+  std::printf("probe: single-core cached %llu cycles, triple-core contended "
+              "%llu cycles, %u rep(s)\n",
+              static_cast<unsigned long long>(single),
+              static_cast<unsigned long long>(triple), reps);
+  // The probe runs to halt; a timeout means the workload itself broke.
+  const bool ok = single > 0 && single < 10'000'000 && triple > 0 &&
+                  triple < 20'000'000;
+  if (!ok) std::printf("probe: FAILED (a workload hit its watchdog)\n");
+  return perf.finish(ok ? 0 : 1);
 }
 
 void BM_SocCycles_SingleCoreCached(benchmark::State& state) {
@@ -106,4 +166,37 @@ BENCHMARK(BM_SocCheckpointCopy)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel the probe options off before google-benchmark sees the argv (it
+  // rejects flags it doesn't know).
+  bench::BenchOptions opts;
+  bool probe_only = false;
+  unsigned reps = 1;
+  std::vector<char*> fwd = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      opts.metrics_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      opts.profile = true;
+    } else if (std::strcmp(argv[i], "--probe-only") == 0) {
+      probe_only = true;
+    } else if (std::strcmp(argv[i], "--probe-reps") == 0 && i + 1 < argc) {
+      reps = bench::parse_unsigned_or_die("--probe-reps", argv[++i]);
+    } else {
+      fwd.push_back(argv[i]);
+    }
+  }
+  if (reps == 0) reps = 1;
+
+  if (probe_only || !opts.metrics_out.empty()) {
+    const int rc = run_probe(opts, reps);
+    if (probe_only || rc != 0) return rc;
+  }
+
+  int fwd_argc = static_cast<int>(fwd.size());
+  benchmark::Initialize(&fwd_argc, fwd.data());
+  if (benchmark::ReportUnrecognizedArguments(fwd_argc, fwd.data())) return 2;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -25,10 +25,13 @@ int main(int argc, char** argv) {
       "HDCU 63.84->70.12%; C: ICU 54.94->60.91%, HDCU 65.66->68.09%");
 
   const unsigned stride = bench::env_unsigned("DETSTL_FAULT_STRIDE", 1);
+  bench::PerfSession perf(opts, "table3");
+  perf.hash_knob("fault_stride", stride);
   const auto t0 = std::chrono::steady_clock::now();
   const auto rows = bench::run_resumable([&] {
     return exp::run_table3(stride, bench::exec_options(opts, tracer.get()));
   });
+  perf.mark_phase("campaigns");
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 
@@ -67,5 +70,5 @@ int main(int argc, char** argv) {
               "core C ICU >= A/B): %s\n",
               shape_ok ? "OK" : "MISMATCH");
   bench::finish_trace(opts, tracer);
-  return shape_ok ? 0 : 1;
+  return perf.finish(shape_ok ? 0 : 1);
 }

@@ -5,6 +5,6 @@
 
 namespace detstl {
 
-inline constexpr const char* kDetstlVersion = "0.5.0";
+inline constexpr const char* kDetstlVersion = "0.6.0";
 
 }  // namespace detstl

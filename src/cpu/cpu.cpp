@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "isa/disasm.h"
+#include "perf/profiler.h"
 
 namespace detstl::cpu {
 
@@ -48,18 +49,30 @@ void Cpu::cycle(mem::SharedBus& bus) {
   const SlotInstr snap_exmem[2] = {exmem_[0], exmem_[1]};
   const SlotInstr snap_memwb[2] = {memwb_[0], memwb_[1]};
 
-  stage_wb();
-  const bool mem_advanced = stage_mem(bus);
-  stage_ex(mem_advanced, snap_exmem, snap_memwb);
-  stage_issue();
-  stage_fetch(bus);
+  {
+    DETSTL_PROF_SCOPE(perf::ProfScope::kExecute);
+    stage_wb();
+    const bool mem_advanced = stage_mem(bus);
+    stage_ex(mem_advanced, snap_exmem, snap_memwb);
+  }
+  {
+    DETSTL_PROF_SCOPE(perf::ProfScope::kDecode);
+    stage_issue();
+  }
+  {
+    DETSTL_PROF_SCOPE(perf::ProfScope::kFetch);
+    stage_fetch(bus);
+  }
   icu_endofcycle();
   flush_ = false;
 
   if (halting_ && pipeline_empty()) halted_ = true;
 }
 
-void Cpu::post_tick(mem::SharedBus& bus) { memsys_.tick(bus); }
+void Cpu::post_tick(mem::SharedBus& bus) {
+  DETSTL_PROF_SCOPE(perf::ProfScope::kCacheModel);
+  memsys_.tick(bus);
+}
 
 bool Cpu::pipeline_empty() const {
   return !ex_[0].valid && !ex_[1].valid && !exmem_[0].valid && !exmem_[1].valid &&
@@ -454,6 +467,7 @@ void Cpu::stage_issue() {
   };
 
   const FetchEntry e0 = fq_.front();
+  ++perf_.decodes;
   const Instr i0 = isa::decode(e0.word);
   fq_.pop_front();
   ex_[0] = make_slot(e0, i0, 0);
@@ -464,6 +478,7 @@ void Cpu::stage_issue() {
   if (fq_.empty()) return;
   const FetchEntry e1 = fq_.front();
   if (e1.pc != e0.pc + 4) return;
+  ++perf_.decodes;
   const Instr i1 = isa::decode(e1.word);
   // Slot 1 accepts only single-cycle ALU ops (no memory port, no branch).
   if (isa::op_class(i1.op) != OpClass::kAlu) return;

@@ -9,6 +9,7 @@ namespace detstl::cpu {
 struct PerfCounters {
   u64 cycles = 0;
   u64 instret = 0;
+  u64 decodes = 0;      // isa::decode invocations in the issue stage
   u64 if_stalls = 0;    // issue cycles starved for instructions (Table I col 2)
   u64 mem_stalls = 0;   // MEM-stage wait cycles (Table I col 3)
   u64 hdcu_stalls = 0;  // stall cycles inserted by the hazard unit

@@ -9,6 +9,8 @@
 
 #include "fault/work_queue.h"
 #include "netlist/screening.h"
+#include "perf/profiler.h"
+#include "perf/simstats.h"
 
 namespace detstl::fault {
 
@@ -358,6 +360,7 @@ CampaignResult Campaign::run() {
   tracker.end_phase();
   emit_phase(trace::EventKind::kCampaignPhaseEnd, CampaignPhase::kGoodRun, 0, 0);
   res.good_cycles = good.now();
+  perf::sim_totals().add(perf::SimStat::kGoodRunCycles, good.now());
   res.good_verdict = core::read_verdict(good, mailbox);
   if (res.good_verdict.status != soc::kStatusPass)
     throw std::runtime_error("fault campaign: fault-free run did not pass");
@@ -433,14 +436,24 @@ CampaignResult Campaign::run() {
         res.detected_signature + res.detected_verdict + res.detected_watchdog;
   };
 
+  // Simulated work executed by this process (stlperf): screen replays and
+  // detection cycles accumulate via relaxed atomics — commutative sums, so
+  // the totals are identical at any thread count.
+  std::atomic<u64> screen_calls_total{0};
+  std::atomic<u64> detection_cycles_total{0};
+
   // Common tail of the complete and the drained (interrupted) exit paths:
   // journal everything completed so far and stamp the wall clock.
   const auto finish = [&](bool interrupted) {
     if (writer) {
       writer->flush();
       res.ckpt.shards_flushed = writer->shards_flushed();
+      res.ckpt.flush_ns = writer->flush_ns();
     }
     res.ckpt.interrupted = interrupted;
+    res.screen_calls = screen_calls_total.load(std::memory_order_relaxed);
+    res.sim_cycles =
+        res.good_cycles + detection_cycles_total.load(std::memory_order_relaxed);
     res.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start)
             .count();
@@ -468,11 +481,17 @@ CampaignResult Campaign::run() {
           continue;
         }
         LaneGroupScreen screen(*nl, *outs, {faults.data() + base, n});
-        for (std::size_t c = 0; c < ncalls && !screen.done(); ++c) {
-          encode_call(c, screen.state());
-          screen.observe(c);
-          if (cfg_.module == Module::kIcu) screen.clock();
+        std::size_t replayed = 0;
+        {
+          DETSTL_PROF_SCOPE(perf::ProfScope::kNetlistScreen);
+          for (; replayed < ncalls && !screen.done(); ++replayed) {
+            encode_call(replayed, screen.state());
+            screen.observe(replayed);
+            if (cfg_.module == Module::kIcu) screen.clock();
+          }
         }
+        screen_calls_total.fetch_add(replayed, std::memory_order_relaxed);
+        perf::sim_totals().add(perf::SimStat::kScreenCalls, replayed);
         u64 excited_here = 0;
         for (std::size_t j = 0; j < n; ++j) {
           first_div[base + j] = screen.first_divergence()[j];
@@ -507,7 +526,11 @@ CampaignResult Campaign::run() {
         [](std::size_t call, const Checkpoint& c) { return call < c.call_idx; });
     const Checkpoint& cp = *std::prev(it);  // cps[0].call_idx == 0 <= any call
 
-    soc::Soc s = cp.soc;
+    soc::Soc s = [&cp]() -> soc::Soc {
+      DETSTL_PROF_SCOPE(perf::ProfScope::kSnapshotRestore);
+      return cp.soc;
+    }();
+    const u64 resume_cycle = s.now();
     // The checkpoint copy carries the good run's sink; faulty replicas run on
     // worker threads and must never emit (trace/event.h checkpoint contract).
     s.set_trace_sink(nullptr);
@@ -540,6 +563,9 @@ CampaignResult Campaign::run() {
 
     while (!s.core(cfg_.core_id).halted() && !cmp.detected() && s.now() < watchdog)
       s.tick();
+    detection_cycles_total.fetch_add(s.now() - resume_cycle,
+                                     std::memory_order_relaxed);
+    perf::sim_totals().add(perf::SimStat::kDetectionCycles, s.now() - resume_cycle);
 
     if (cmp.detected()) return FaultOutcome::kDetectedSignature;
     if (!s.core(cfg_.core_id).halted()) return FaultOutcome::kDetectedWatchdog;
@@ -572,6 +598,7 @@ CampaignResult Campaign::run() {
         const FaultOutcome out =
             first_div[i] == SIZE_MAX ? FaultOutcome::kNotExcited : detect_one(i);
         res.outcomes[i] = out;
+        perf::sim_totals().add(perf::SimStat::kFaultUnits, 1);
         if (writer) writer->add(i, {static_cast<u8>(out)});
         if (cfg_.interrupt != nullptr) cfg_.interrupt->on_unit_complete();
         if (out != FaultOutcome::kNotExcited) {

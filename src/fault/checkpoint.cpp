@@ -14,6 +14,8 @@
 
 #include "common/version.h"
 #include "mem/memmap.h"
+#include "perf/profiler.h"
+#include "perf/sampler.h"
 #include "netlist/netlist.h"
 #include "soc/soc.h"
 #include "trace/event.h"
@@ -307,6 +309,7 @@ LoadedCheckpoint load_checkpoint(const CheckpointConfig& cfg, PayloadKind kind,
                                  u64 config_hash, trace::EventSink* sink) {
   LoadedCheckpoint out;
   if (!cfg.enabled()) return out;
+  DETSTL_PROF_SCOPE(perf::ProfScope::kCheckpointIO);
   const fs::path dir = cfg.dir;
   u64 seq = 0;
 
@@ -409,6 +412,8 @@ void CheckpointWriter::flush() {
 
 void CheckpointWriter::flush_locked() {
   if (pending_.empty()) return;
+  DETSTL_PROF_SCOPE(perf::ProfScope::kCheckpointIO);
+  const u64 flush_t0 = perf::detail::prof_now_ns();
   std::vector<u8> payload;
   for (const ShardRecord& r : pending_) {
     put64(payload, r.index);
@@ -432,6 +437,8 @@ void CheckpointWriter::flush_locked() {
             static_cast<u32>(pending_.size()), shard);
   pending_.clear();
   flushed_.fetch_add(1, std::memory_order_relaxed);
+  flush_ns_.fetch_add(perf::detail::prof_now_ns() - flush_t0,
+                      std::memory_order_relaxed);
 }
 
 }  // namespace detstl::fault

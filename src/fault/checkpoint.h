@@ -101,6 +101,9 @@ struct CheckpointStats {
   u32 shards_flushed = 0;
   u32 shards_corrupt = 0;    // quarantined to *.corrupt and re-executed
   u64 records_resumed = 0;   // units skipped because a shard recorded them
+  /// Cumulative host time spent writing shards (serialise + write + fsync).
+  /// A host timing like wall_seconds — never enters any determinism check.
+  u64 flush_ns = 0;
 };
 
 /// A checkpoint exists but belongs to a different campaign (config hash,
@@ -243,6 +246,8 @@ class CheckpointWriter {
   void add(u64 index, std::vector<u8> payload);
   void flush();  // write pending records as one shard (no-op when none)
   u32 shards_flushed() const { return flushed_.load(std::memory_order_relaxed); }
+  /// Cumulative shard-flush latency in nanoseconds (CheckpointStats::flush_ns).
+  u64 flush_ns() const { return flush_ns_.load(std::memory_order_relaxed); }
 
  private:
   void flush_locked();
@@ -256,6 +261,7 @@ class CheckpointWriter {
   std::vector<ShardRecord> pending_;
   u32 next_shard_ = 0;
   std::atomic<u32> flushed_{0};
+  std::atomic<u64> flush_ns_{0};
   u64 flush_seq_ = 0;
 };
 

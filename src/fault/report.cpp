@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/table.h"
+#include "perf/sampler.h"
 
 namespace detstl::fault {
 
@@ -84,6 +85,20 @@ std::string render_report(const CampaignReport& rep, const std::string& title) {
   summary.row({"fault-free run [cycles]", TextTable::fmt_int(static_cast<long long>(r.good_cycles))});
   summary.row({"wall-clock [s]", TextTable::fmt_fixed(r.wall_seconds, 2)});
   summary.row({"worker threads", TextTable::fmt_int(static_cast<long long>(r.threads_used))});
+  // stlperf observability rows: sim work is deterministic per thread count
+  // (not per resume); sim-MHz and RSS are host readings like wall-clock.
+  summary.row({"simulated cycles (good + detection)",
+               TextTable::fmt_int(static_cast<long long>(r.sim_cycles))});
+  summary.row({"screen calls (phase 1 replays)",
+               TextTable::fmt_int(static_cast<long long>(r.screen_calls))});
+  summary.row({"sim-MHz",
+               TextTable::fmt_fixed(
+                   r.wall_seconds > 0.0
+                       ? static_cast<double>(r.sim_cycles) / r.wall_seconds / 1e6
+                       : 0.0,
+                   3)});
+  summary.row({"peak RSS [KiB]",
+               TextTable::fmt_int(static_cast<long long>(perf::peak_rss_kb()))});
 
   // Checkpoint/resume bookkeeping, only when the campaign journalled. Kept
   // out of the summary table so checkpointed and plain runs of the same

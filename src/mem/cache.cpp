@@ -102,6 +102,7 @@ void Cache::fill(u32 addr, const std::vector<u32>& beats) {
   const u32 set = set_index(addr);
   Line& l = lines_[set * cfg_.ways + victim_way(addr)];
   if (l.valid && l.dirty) ++stats_.writebacks;
+  ++stats_.refills;
   l.valid = true;
   l.dirty = false;
   l.tag = tag_of(addr);

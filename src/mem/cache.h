@@ -26,6 +26,7 @@ struct CacheConfig {
 struct CacheStats {
   u64 hits = 0;
   u64 misses = 0;
+  u64 refills = 0;  // lines installed via fill()
   u64 writebacks = 0;
 };
 

@@ -1,0 +1,419 @@
+#include "perf/perf_report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/table.h"
+#include "common/version.h"
+#include "perf/json.h"
+
+namespace detstl::perf {
+
+namespace {
+
+std::string hex64(u64 v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string fmt_fixed6(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6f", v);
+  return buf;
+}
+
+void emit_metric(std::string& out, const std::string& indent,
+                 const std::string& name, const std::string& labels,
+                 const Metric& m) {
+  out += indent + "{\"name\": \"" + json::escape(name) + "\", \"labels\": \"" +
+         json::escape(labels) + "\", \"kind\": \"" + metric_kind_name(m.kind) +
+         "\", ";
+  switch (m.kind) {
+    case MetricKind::kCounter:
+      out += "\"value\": " + std::to_string(m.counter);
+      break;
+    case MetricKind::kGauge:
+      out += "\"value\": " + fmt_double(m.gauge);
+      break;
+    case MetricKind::kHistogram: {
+      out += "\"bounds\": [";
+      for (std::size_t i = 0; i < m.hist.bounds.size(); ++i)
+        out += (i ? ", " : "") + std::to_string(m.hist.bounds[i]);
+      out += "], \"counts\": [";
+      for (std::size_t i = 0; i < m.hist.counts.size(); ++i)
+        out += (i ? ", " : "") + std::to_string(m.hist.counts[i]);
+      out += "], \"total\": " + std::to_string(m.hist.total) +
+             ", \"sum\": " + std::to_string(m.hist.sum);
+      break;
+    }
+  }
+  out += "}";
+}
+
+void emit_metric_list(std::string& out, const Registry& metrics,
+                      MetricSource which, const std::string& indent) {
+  bool first = true;
+  metrics.visit([&](const std::string& name, const std::string& labels,
+                    const Metric& m) {
+    if (m.source != which) return;
+    out += first ? "\n" : ",\n";
+    first = false;
+    emit_metric(out, indent, name, labels, m);
+  });
+  if (!first) out += "\n" + indent.substr(2);
+}
+
+}  // namespace
+
+std::string sim_canonical(const PerfReport& rep) {
+  std::string out;
+  out += "{\n";
+  out += "    \"cycles\": " + std::to_string(rep.sim_cycles) + ",\n";
+  out += "    \"units\": " + std::to_string(rep.sim_units) + ",\n";
+  out += "    \"fingerprint\": \"" + hex64(rep.metrics.sim_fingerprint()) + "\",\n";
+  out += "    \"phases\": [";
+  for (std::size_t i = 0; i < rep.phases.size(); ++i) {
+    const PhaseStats& p = rep.phases[i];
+    out += (i ? ",\n" : "\n");
+    out += "      {\"name\": \"" + json::escape(p.name) +
+           "\", \"cycles\": " + std::to_string(p.sim_cycles) +
+           ", \"units\": " + std::to_string(p.units) + "}";
+  }
+  out += rep.phases.empty() ? "],\n" : "\n    ],\n";
+  out += "    \"metrics\": [";
+  emit_metric_list(out, rep.metrics, MetricSource::kSim, "      ");
+  out += "]\n";
+  out += "  }";
+  return out;
+}
+
+std::string to_json(const PerfReport& rep) {
+  std::string out;
+  out += "{\n";
+  out += "  \"stlperf_schema\": " + std::to_string(rep.schema) + ",\n";
+  out += "  \"name\": \"" + json::escape(rep.name) + "\",\n";
+  out += "  \"detstl_version\": \"" +
+         json::escape(rep.detstl_version.empty() ? kDetstlVersion
+                                                 : rep.detstl_version) +
+         "\",\n";
+  out += "  \"config_hash\": \"" + hex64(rep.config_hash) + "\",\n";
+  out += "  \"sim\": " + sim_canonical(rep) + ",\n";
+  out += "  \"host\": {\n";
+  out += "    \"wall_s\": " + fmt_fixed6(rep.wall_s) + ",\n";
+  out += "    \"cpu_s\": " + fmt_fixed6(rep.cpu_s) + ",\n";
+  out += "    \"peak_rss_kb\": " + std::to_string(rep.peak_rss_kb) + ",\n";
+  out += "    \"sim_mhz\": " + fmt_fixed6(rep.sim_mhz()) + ",\n";
+  out += "    \"phases\": [";
+  for (std::size_t i = 0; i < rep.phases.size(); ++i) {
+    out += (i ? ",\n" : "\n");
+    out += "      {\"name\": \"" + json::escape(rep.phases[i].name) +
+           "\", \"wall_s\": " + fmt_fixed6(rep.phases[i].wall_s) + "}";
+  }
+  out += rep.phases.empty() ? "],\n" : "\n    ],\n";
+  out += "    \"metrics\": [";
+  emit_metric_list(out, rep.metrics, MetricSource::kHost, "      ");
+  out += "],\n";
+  out += "    \"profiled\": " + std::string(rep.profiled ? "true" : "false") +
+         ",\n";
+  out += "    \"profile\": [";
+  if (rep.profiled) {
+    bool first = true;
+    for (unsigned i = 0; i < kNumProfScopes; ++i) {
+      const ScopeTotals& s = rep.profile.scopes[i];
+      if (s.calls == 0) continue;
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "      {\"scope\": \"";
+      out += prof_scope_name(static_cast<ProfScope>(i));
+      out += "\", \"calls\": " + std::to_string(s.calls) +
+             ", \"ns\": " + std::to_string(s.ns) + "}";
+    }
+    if (!first) out += "\n    ";
+  }
+  out += "]\n";
+  out += "  }\n";
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+bool parse_metric_list(const json::Value& list, MetricSource source,
+                       Registry& reg, std::string* err) {
+  const auto fail = [err](const std::string& why) {
+    if (err != nullptr && err->empty()) *err = why;
+    return false;
+  };
+  if (!list.is_array()) return fail("metrics is not an array");
+  for (const json::Value& e : list.arr) {
+    const json::Value* name = e.find("name");
+    const json::Value* labels = e.find("labels");
+    const json::Value* kind = e.find("kind");
+    if (name == nullptr || labels == nullptr || kind == nullptr ||
+        !name->is_string() || !labels->is_string() || !kind->is_string())
+      return fail("metric entry missing name/labels/kind");
+    if (kind->str == "counter") {
+      const json::Value* v = e.find("value");
+      if (v == nullptr || !v->is_number()) return fail("counter without value");
+      reg.set_counter(name->str, labels->str, v->as_u64(), source);
+    } else if (kind->str == "gauge") {
+      const json::Value* v = e.find("value");
+      if (v == nullptr || !v->is_number()) return fail("gauge without value");
+      reg.set_gauge(name->str, labels->str, v->as_double(), source);
+    } else if (kind->str == "histogram") {
+      const json::Value* bounds = e.find("bounds");
+      const json::Value* counts = e.find("counts");
+      if (bounds == nullptr || counts == nullptr || !bounds->is_array() ||
+          !counts->is_array() || counts->arr.size() != bounds->arr.size() + 1)
+        return fail("histogram with inconsistent bounds/counts");
+      const json::Value* total = e.find("total");
+      const json::Value* sum = e.find("sum");
+      if (total == nullptr || sum == nullptr)
+        return fail("histogram without totals");
+      HistogramData h;
+      for (const json::Value& b : bounds->arr) h.bounds.push_back(b.as_u64());
+      u64 count_sum = 0;
+      for (const json::Value& c : counts->arr) {
+        h.counts.push_back(c.as_u64());
+        count_sum += h.counts.back();
+      }
+      h.total = total->as_u64();
+      h.sum = sum->as_u64();
+      if (count_sum != h.total) return fail("histogram counts/total mismatch");
+      reg.set_histogram(name->str, labels->str, std::move(h), source);
+    } else {
+      return fail("unknown metric kind '" + kind->str + "'");
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool from_json(const std::string& text, PerfReport& out, std::string* err) {
+  const auto fail = [err](const std::string& why) {
+    if (err != nullptr && err->empty()) *err = why;
+    return false;
+  };
+  json::Value root;
+  if (!json::parse(text, root, err)) return false;
+  if (!root.is_object()) return fail("document is not an object");
+
+  const json::Value* schema = root.find("stlperf_schema");
+  if (schema == nullptr || !schema->is_number())
+    return fail("missing stlperf_schema");
+  if (schema->as_u64() != kPerfSchemaVersion)
+    return fail("unsupported stlperf_schema " + schema->raw + " (expected " +
+                std::to_string(kPerfSchemaVersion) + ")");
+
+  PerfReport rep;
+  rep.schema = static_cast<u32>(schema->as_u64());
+  const json::Value* name = root.find("name");
+  if (name == nullptr || !name->is_string()) return fail("missing name");
+  rep.name = name->str;
+  if (const json::Value* v = root.find("detstl_version"); v != nullptr)
+    rep.detstl_version = v->str;
+  if (const json::Value* v = root.find("config_hash");
+      v != nullptr && v->is_string())
+    rep.config_hash = std::strtoull(v->str.c_str(), nullptr, 16);
+
+  const json::Value* sim = root.find("sim");
+  const json::Value* host = root.find("host");
+  if (sim == nullptr || !sim->is_object()) return fail("missing sim object");
+  if (host == nullptr || !host->is_object()) return fail("missing host object");
+
+  if (const json::Value* v = sim->find("cycles"); v != nullptr)
+    rep.sim_cycles = v->as_u64();
+  else
+    return fail("missing sim.cycles");
+  if (const json::Value* v = sim->find("units"); v != nullptr)
+    rep.sim_units = v->as_u64();
+  if (const json::Value* v = sim->find("phases"); v != nullptr && v->is_array()) {
+    for (const json::Value& p : v->arr) {
+      PhaseStats ps;
+      if (const json::Value* n = p.find("name"); n != nullptr) ps.name = n->str;
+      if (const json::Value* c = p.find("cycles"); c != nullptr)
+        ps.sim_cycles = c->as_u64();
+      if (const json::Value* u = p.find("units"); u != nullptr)
+        ps.units = u->as_u64();
+      rep.phases.push_back(std::move(ps));
+    }
+  }
+  if (const json::Value* v = sim->find("metrics"); v != nullptr) {
+    if (!parse_metric_list(*v, MetricSource::kSim, rep.metrics, err)) return false;
+  }
+
+  if (const json::Value* v = host->find("wall_s"); v != nullptr)
+    rep.wall_s = v->as_double();
+  if (const json::Value* v = host->find("cpu_s"); v != nullptr)
+    rep.cpu_s = v->as_double();
+  if (const json::Value* v = host->find("peak_rss_kb"); v != nullptr)
+    rep.peak_rss_kb = static_cast<long>(v->as_u64());
+  if (const json::Value* v = host->find("phases"); v != nullptr && v->is_array()) {
+    for (std::size_t i = 0; i < v->arr.size() && i < rep.phases.size(); ++i)
+      if (const json::Value* w = v->arr[i].find("wall_s"); w != nullptr)
+        rep.phases[i].wall_s = w->as_double();
+  }
+  if (const json::Value* v = host->find("metrics"); v != nullptr) {
+    if (!parse_metric_list(*v, MetricSource::kHost, rep.metrics, err))
+      return false;
+  }
+  if (const json::Value* v = host->find("profiled"); v != nullptr)
+    rep.profiled = v->boolean;
+  if (const json::Value* v = host->find("profile"); v != nullptr && v->is_array()) {
+    for (const json::Value& e : v->arr) {
+      const json::Value* scope = e.find("scope");
+      if (scope == nullptr) continue;
+      for (unsigned i = 0; i < kNumProfScopes; ++i) {
+        if (scope->str != prof_scope_name(static_cast<ProfScope>(i))) continue;
+        if (const json::Value* c = e.find("calls"); c != nullptr)
+          rep.profile.scopes[i].calls = c->as_u64();
+        if (const json::Value* n = e.find("ns"); n != nullptr)
+          rep.profile.scopes[i].ns = n->as_u64();
+      }
+    }
+  }
+  out = std::move(rep);
+  return true;
+}
+
+bool write_report_file(const std::string& path, const PerfReport& rep) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << to_json(rep);
+  return static_cast<bool>(f.flush());
+}
+
+bool load_report_file(const std::string& path, PerfReport& out, std::string* err) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    if (err != nullptr) *err = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return from_json(ss.str(), out, err);
+}
+
+std::string render_report(const PerfReport& rep) {
+  TextTable t("stlperf report: " + rep.name);
+  t.header({"field", "value"});
+  t.row({"schema", std::to_string(rep.schema)});
+  t.row({"producer", "detstl " + rep.detstl_version});
+  t.row({"config hash", hex64(rep.config_hash)});
+  t.row({"sim cycles", TextTable::fmt_int(static_cast<long long>(rep.sim_cycles))});
+  t.row({"sim units", TextTable::fmt_int(static_cast<long long>(rep.sim_units))});
+  t.row({"sim fingerprint", hex64(rep.metrics.sim_fingerprint())});
+  t.row({"wall-clock [s]", TextTable::fmt_fixed(rep.wall_s, 3)});
+  t.row({"CPU time [s]", TextTable::fmt_fixed(rep.cpu_s, 3)});
+  t.row({"peak RSS [KiB]", TextTable::fmt_int(rep.peak_rss_kb)});
+  t.row({"sim-MHz", TextTable::fmt_fixed(rep.sim_mhz(), 3)});
+  std::string out = t.str();
+
+  if (!rep.phases.empty()) {
+    TextTable pt("phases");
+    pt.header({"phase", "sim cycles", "units", "wall [s]", "sim-MHz"});
+    for (const PhaseStats& p : rep.phases) {
+      pt.row({p.name, TextTable::fmt_int(static_cast<long long>(p.sim_cycles)),
+              TextTable::fmt_int(static_cast<long long>(p.units)),
+              TextTable::fmt_fixed(p.wall_s, 3),
+              TextTable::fmt_fixed(
+                  p.wall_s > 0
+                      ? static_cast<double>(p.sim_cycles) / p.wall_s / 1e6
+                      : 0.0,
+                  3)});
+    }
+    out += pt.str();
+  }
+  if (!rep.metrics.empty()) out += rep.metrics.render();
+  if (rep.profiled) out += rep.profile.render(rep.wall_s);
+  return out;
+}
+
+CompareOutcome compare_reports(const PerfReport& baseline,
+                               const PerfReport& current) {
+  CompareOutcome c;
+  c.baseline_mhz = baseline.sim_mhz();
+  c.current_mhz = current.sim_mhz();
+  if (baseline.schema != current.schema) {
+    c.notes.push_back("schema mismatch: baseline " +
+                      std::to_string(baseline.schema) + " vs current " +
+                      std::to_string(current.schema));
+    return c;
+  }
+  if (baseline.name != current.name) {
+    c.notes.push_back("bench name mismatch: '" + baseline.name + "' vs '" +
+                      current.name + "'");
+    return c;
+  }
+  c.comparable = true;
+  if (baseline.config_hash != current.config_hash) {
+    c.config_changed = true;
+    c.notes.push_back(
+        "config hash changed (" + hex64(baseline.config_hash) + " -> " +
+        hex64(current.config_hash) +
+        "): workloads differ, sim-MHz comparison is indicative only");
+  }
+  c.sim_identical = sim_canonical(baseline) == sim_canonical(current);
+  if (!c.sim_identical && !c.config_changed)
+    c.notes.push_back(
+        "sim subtree diverged under the SAME config hash — this is a "
+        "determinism break, not a performance change");
+  if (c.baseline_mhz > 0.0)
+    c.regression_pct =
+        100.0 * (c.baseline_mhz - c.current_mhz) / c.baseline_mhz;
+  return c;
+}
+
+std::string render_diff(const PerfReport& baseline, const PerfReport& current,
+                        const CompareOutcome& cmp, double threshold_pct) {
+  TextTable t("stlperf diff: " + baseline.name);
+  t.header({"field", "baseline", "current", "delta"});
+  const auto pct = [](double from, double to) {
+    if (from == 0.0) return std::string("n/a");
+    const double d = 100.0 * (to - from) / from;
+    return (d >= 0 ? "+" : "") + TextTable::fmt_fixed(d, 1) + "%";
+  };
+  t.row({"sim-MHz", TextTable::fmt_fixed(cmp.baseline_mhz, 3),
+         TextTable::fmt_fixed(cmp.current_mhz, 3),
+         pct(cmp.baseline_mhz, cmp.current_mhz)});
+  t.row({"wall-clock [s]", TextTable::fmt_fixed(baseline.wall_s, 3),
+         TextTable::fmt_fixed(current.wall_s, 3),
+         pct(baseline.wall_s, current.wall_s)});
+  t.row({"sim cycles",
+         TextTable::fmt_int(static_cast<long long>(baseline.sim_cycles)),
+         TextTable::fmt_int(static_cast<long long>(current.sim_cycles)),
+         baseline.sim_cycles == current.sim_cycles ? "=" : "!="});
+  t.row({"peak RSS [KiB]", TextTable::fmt_int(baseline.peak_rss_kb),
+         TextTable::fmt_int(current.peak_rss_kb),
+         pct(static_cast<double>(baseline.peak_rss_kb),
+             static_cast<double>(current.peak_rss_kb))});
+  t.row({"sim subtree", "-", "-",
+         cmp.sim_identical ? "byte-identical" : "DIVERGED"});
+  std::string out = t.str();
+  for (const std::string& n : cmp.notes) out += "note: " + n + "\n";
+  if (!cmp.comparable) {
+    out += "stlperf: NOT COMPARABLE\n";
+  } else if (cmp.regressed(threshold_pct)) {
+    out += "stlperf: REGRESSION — sim-MHz dropped " +
+           TextTable::fmt_fixed(cmp.regression_pct, 1) + "% (threshold " +
+           TextTable::fmt_fixed(threshold_pct, 1) + "%)\n";
+  } else {
+    const double delta = -cmp.regression_pct;  // positive = current is faster
+    out += "stlperf: OK — sim-MHz delta " + std::string(delta >= 0 ? "+" : "") +
+           TextTable::fmt_fixed(delta, 1) + "% (allowed drop " +
+           TextTable::fmt_fixed(threshold_pct, 1) + "%)\n";
+  }
+  return out;
+}
+
+}  // namespace detstl::perf

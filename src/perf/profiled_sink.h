@@ -1,0 +1,24 @@
+#pragma once
+// EventSink decorator attributing trace-emission host time to the
+// ProfScope::kTraceEmit bucket. Header-only so perf/ needs no link
+// dependency on trace/.
+
+#include "perf/profiler.h"
+#include "trace/event.h"
+
+namespace detstl::perf {
+
+class ProfiledSink final : public trace::EventSink {
+ public:
+  explicit ProfiledSink(trace::EventSink* inner) : inner_(inner) {}
+
+  void on_event(const trace::Event& e) override {
+    DETSTL_PROF_SCOPE(ProfScope::kTraceEmit);
+    inner_->on_event(e);
+  }
+
+ private:
+  trace::EventSink* inner_;  // non-owning
+};
+
+}  // namespace detstl::perf

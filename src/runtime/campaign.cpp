@@ -8,6 +8,7 @@
 
 #include "common/table.h"
 #include "fault/work_queue.h"
+#include "perf/simstats.h"
 
 namespace detstl::runtime {
 
@@ -296,6 +297,9 @@ CampaignResult run_disturbance_campaign(
             make_plan(dspec, run_seed, spec.cores));
         StlSupervisor sup(plan.soc, plan.schedule, spec.supervisor);
         res.records[i] = RunRecord{run_seed, sup.run(&injector)};
+        perf::sim_totals().add(perf::SimStat::kDisturbRuns, 1);
+        perf::sim_totals().add(perf::SimStat::kDisturbCycles,
+                               res.records[i].result.total_cycles);
         if (writer) writer->add(i, serialize_run_record(res.records[i]));
         if (spec.interrupt != nullptr) spec.interrupt->on_unit_complete();
       }
@@ -306,6 +310,7 @@ CampaignResult run_disturbance_campaign(
   if (writer) {
     writer->flush();
     res.ckpt.shards_flushed = writer->shards_flushed();
+    res.ckpt.flush_ns = writer->flush_ns();
   }
   res.ckpt.interrupted = stop_requested();
   res.wall_seconds =

@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "perf/profiler.h"
+#include "perf/simstats.h"
+
 namespace detstl::soc {
 
 Soc::Soc(const SocConfig& cfg) : cfg_(cfg) {
@@ -74,7 +77,10 @@ void Soc::tick() {
   for (unsigned i = 0; i < cores_.size(); ++i) {
     if (active_[i] && now_ > cfg_.start_delay[i]) cores_[i].cycle(bus_);
   }
-  bus_.tick(flash_, sram_);
+  {
+    DETSTL_PROF_SCOPE(perf::ProfScope::kBusArb);
+    bus_.tick(flash_, sram_);
+  }
   for (unsigned i = 0; i < cores_.size(); ++i) {
     if (active_[i]) cores_[i].post_tick(bus_);
   }
@@ -89,6 +95,7 @@ bool Soc::all_halted() const {
 
 Soc::RunResult Soc::run(u64 max_cycles) {
   RunResult res;
+  const u64 start = now_;
   while (!all_halted()) {
     if (now_ >= max_cycles) {
       res.timed_out = true;
@@ -97,6 +104,10 @@ Soc::RunResult Soc::run(u64 max_cycles) {
     tick();
   }
   res.cycles = now_;
+  // Only the delta this call simulated (run() may continue an already-run
+  // SoC). The campaign engines tick() manually and account their own stats,
+  // so kSocRunCycles never double-counts campaign work.
+  perf::sim_totals().add(perf::SimStat::kSocRunCycles, now_ - start);
   return res;
 }
 

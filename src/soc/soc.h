@@ -53,6 +53,7 @@ class Soc {
   const mem::Flash& flash() const { return flash_; }
   mem::Sram& sram() { return sram_; }
   mem::SharedBus& bus() { return bus_; }
+  const mem::SharedBus& bus() const { return bus_; }
 
   /// Load a program image into Flash/SRAM (before reset; not timed).
   void load_program(const isa::Program& prog);

@@ -12,6 +12,10 @@
 //   campaign-audit fault-campaign determinism: event stream and outcome
 //                  vector must be byte-identical for every worker-thread
 //                  count.
+//   metrics        execute the quickstart scenario and dump the full stlperf
+//                  metrics registry (per-core pipeline counters, cache and
+//                  bus statistics, sim totals, host usage) as one
+//                  stlperf-schema JSON document (src/perf/perf_report.h).
 //
 // Exit codes: 0 = pass, 1 = a check failed, 2 = usage/build error.
 
@@ -25,6 +29,10 @@
 #include "core/routines.h"
 #include "core/stl.h"
 #include "exp/experiments.h"
+#include "perf/collect.h"
+#include "perf/perf_report.h"
+#include "perf/sampler.h"
+#include "perf/simstats.h"
 #include "trace/audit.h"
 #include "trace/capture.h"
 #include "trace/chrome_trace.h"
@@ -46,6 +54,8 @@ void usage(std::FILE* os) {
       "  detscope audit [--routine NAME|all] [--wa on|off]\n"
       "  detscope campaign-audit [--module fwd|hdcu|icu] [--threads A,B,C]\n"
       "               [--stride N]\n"
+      "  detscope metrics [--routine NAME] [--cores N] [--wa on|off]\n"
+      "               [--out FILE]\n"
       "\n"
       "run options:\n"
       "  --routine NAME   built-in routine (default: fwd-pc; see stlint --list)\n"
@@ -306,6 +316,85 @@ int cmd_campaign_audit(const std::vector<std::string>& args) {
   return r.passed() ? 0 : 1;
 }
 
+int cmd_metrics(const std::vector<std::string>& args) {
+  std::string routine_name = "fwd-pc";
+  unsigned cores = 3;
+  bool wa = true;
+  std::string out_path;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const auto need = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) {
+        usage(stderr);
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (args[i] == "--routine") routine_name = need();
+    else if (args[i] == "--cores")
+      cores = cli::require_unsigned("detscope", "--cores", need(), 1, 3);
+    else if (args[i] == "--wa") wa = require_on_off("--wa", need());
+    else if (args[i] == "--out") out_path = need();
+    else {
+      std::fprintf(stderr, "detscope: unknown option '%s'\n", args[i].c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  const auto routine = routine_or_die(routine_name)->make();
+  std::vector<core::BuiltTest> tests;
+  for (unsigned c = 0; c < cores; ++c) {
+    tests.push_back(core::build_wrapped(*routine, core::WrapperKind::kCacheBased,
+                                        core::quickstart_env(c, wa)));
+  }
+
+  soc::SocConfig cfg;
+  cfg.start_delay = {0, 3, 7};
+  soc::Soc soc(cfg);
+  for (const auto& t : tests) {
+    soc.load_program(t.prog);
+    soc.set_boot(t.env.core_id, t.prog.entry());
+  }
+  for (unsigned c = cores; c < 3; ++c) soc.set_active(c, false);
+
+  const perf::SimSnapshot before = perf::sim_totals().snapshot();
+  perf::HostTimer timer;
+  soc.reset();
+  const auto res = soc.run(10'000'000);
+  if (res.timed_out) {
+    std::fprintf(stderr, "detscope: watchdog expired\n");
+    return 1;
+  }
+  const perf::SimSnapshot delta = perf::sim_totals().snapshot().since(before);
+  const perf::HostUsage usage_now = timer.sample();
+
+  perf::PerfReport rep;
+  rep.name = "detscope-metrics";
+  rep.detstl_version = kDetstlVersion;
+  fault::ConfigHasher hash;
+  hash.str("detscope-metrics").str(routine_name).u32v(cores).u8v(wa ? 1 : 0);
+  rep.config_hash = hash.digest();
+  rep.sim_cycles = delta.sim_cycles();
+  rep.sim_units = delta.units();
+  rep.phases.push_back({"quickstart", delta.sim_cycles(), delta.units(),
+                        usage_now.wall_s});
+  rep.wall_s = usage_now.wall_s;
+  rep.cpu_s = usage_now.cpu_s;
+  rep.peak_rss_kb = usage_now.peak_rss_kb;
+  perf::collect_soc(rep.metrics, soc);
+  perf::collect_sim_totals(rep.metrics, delta);
+  perf::collect_host_usage(rep.metrics, usage_now);
+
+  const std::string json = perf::to_json(rep);
+  if (out_path.empty()) {
+    std::fputs(json.c_str(), stdout);
+  } else if (!perf::write_report_file(out_path, rep)) {
+    std::fprintf(stderr, "detscope: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -327,6 +416,7 @@ int main(int argc, char** argv) {
     if (cmd == "run") return cmd_run(args);
     if (cmd == "audit") return cmd_audit(args);
     if (cmd == "campaign-audit") return cmd_campaign_audit(args);
+    if (cmd == "metrics") return cmd_metrics(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "detscope: %s\n", e.what());
     return 2;

@@ -23,6 +23,10 @@
 #include "cli_util.h"
 #include "common/table.h"
 #include "core/stl.h"
+#include "perf/collect.h"
+#include "perf/perf_report.h"
+#include "perf/sampler.h"
+#include "perf/simstats.h"
 #include "runtime/campaign.h"
 
 namespace {
@@ -55,6 +59,9 @@ void usage(std::FILE* to) {
       "  --attempts N           cached-rung attempts, 1..16 (default 3)\n"
       "  --fallback-attempts N  fallback-rung attempts, 0..16 (default 2)\n"
       "  --digest-only          print only the outcome digest line\n"
+      "  --metrics-out FILE     write an stlperf JSON report of the campaign\n"
+      "                         (src/perf/perf_report.h; host timings on stderr\n"
+      "                         so stdout stays byte-stable across thread counts)\n"
       "\n"
       "checkpoint/resume (exit 3 = interrupted but resumable):\n"
       "  --checkpoint-dir DIR     journal completed runs into DIR; SIGINT/SIGTERM\n"
@@ -85,6 +92,7 @@ int cmd_campaign(int argc, char** argv) {
   std::vector<unsigned> verify_threads;
   bool digest_only = false;
   u64 interrupt_after = 0;
+  std::string metrics_out;
 
   for (int i = 0; i < argc; ++i) {
     const std::string a = argv[i];
@@ -127,6 +135,8 @@ int cmd_campaign(int argc, char** argv) {
           cli::require_unsigned(kTool, "--fallback-attempts", need(), 0, 16);
     } else if (a == "--digest-only") {
       digest_only = true;
+    } else if (a == "--metrics-out") {
+      metrics_out = need();
     } else if (a == "--checkpoint-dir") {
       spec.checkpoint.dir = need();
     } else if (a == "--checkpoint-interval") {
@@ -169,7 +179,18 @@ int cmd_campaign(int argc, char** argv) {
     fault::install_drain_handlers();
   }
 
+  if (!verify_threads.empty() && !metrics_out.empty()) {
+    // The verify loop runs the campaign several times; one report could not
+    // say which pass it measured.
+    std::fprintf(stderr,
+                 "%s: --metrics-out cannot be combined with --verify-threads\n",
+                 kTool);
+    return cli::kExitUsage;
+  }
+
   if (verify_threads.empty()) {
+    const perf::SimSnapshot sim_before = perf::sim_totals().snapshot();
+    perf::HostTimer host_timer;
     const CampaignResult res = run_disturbance_campaign(spec);
     if (res.ckpt.enabled)
       std::fprintf(stderr,
@@ -191,8 +212,52 @@ int cmd_campaign(int argc, char** argv) {
       std::printf("outcome digest: %s\n", TextTable::fmt_hex(res.digest()).c_str());
     else
       std::fputs(render_recovery_report(res).c_str(), stdout);
-    std::fprintf(stderr, "%s: %u runs on %u thread(s) in %.2fs\n", kTool,
-                 res.runs, res.threads_used, res.wall_seconds);
+    // Host timings go to stderr only: the stdout report is diffed across
+    // thread counts and straight-vs-resumed runs by the CI drills.
+    const perf::SimSnapshot sim_delta =
+        perf::sim_totals().snapshot().since(sim_before);
+    const perf::HostUsage host = host_timer.sample();
+    const double sim_mhz = host.wall_s > 0.0
+                               ? static_cast<double>(sim_delta.sim_cycles()) /
+                                     host.wall_s / 1e6
+                               : 0.0;
+    std::fprintf(stderr,
+                 "%s: %u runs on %u thread(s) in %.2fs | %.1f Mcycles simulated, "
+                 "%.2f sim-MHz, peak RSS %ld KiB\n",
+                 kTool, res.runs, res.threads_used, res.wall_seconds,
+                 static_cast<double>(sim_delta.sim_cycles()) / 1e6, sim_mhz,
+                 perf::peak_rss_kb());
+    if (!metrics_out.empty()) {
+      perf::PerfReport rep;
+      rep.name = "stlrun-campaign";
+      rep.detstl_version = kDetstlVersion;
+      fault::ConfigHasher hash;
+      hash.str("stlrun-campaign").u64v(spec.seed).u32v(spec.runs).u32v(spec.cores);
+      for (const auto& r : spec.routines) hash.str(r);
+      hash.u32v(spec.disturb.count);
+      hash.f64v(spec.disturb.permanent_chance);
+      hash.u32v(spec.disturb.stall_cycles);
+      hash.u32v(spec.supervisor.margin_percent);
+      hash.u32v(spec.supervisor.max_attempts);
+      hash.u32v(spec.supervisor.fallback_attempts);
+      rep.config_hash = hash.digest();
+      rep.sim_cycles = sim_delta.sim_cycles();
+      rep.sim_units = sim_delta.units();
+      rep.phases.push_back(
+          {"campaign", sim_delta.sim_cycles(), sim_delta.units(), host.wall_s});
+      rep.wall_s = host.wall_s;
+      rep.cpu_s = host.cpu_s;
+      rep.peak_rss_kb = host.peak_rss_kb;
+      perf::collect_disturbance_result(rep.metrics, res, "");
+      perf::collect_sim_totals(rep.metrics, sim_delta);
+      perf::collect_host_usage(rep.metrics, host);
+      if (!perf::write_report_file(metrics_out, rep)) {
+        std::fprintf(stderr, "%s: cannot write %s\n", kTool, metrics_out.c_str());
+        return cli::kExitFailure;
+      }
+      std::fprintf(stderr, "%s: stlperf report written to %s\n", kTool,
+                   metrics_out.c_str());
+    }
     return cli::kExitSuccess;
   }
 
