@@ -57,6 +57,7 @@ struct BenchOptions {
   bool resume = false;             // --resume
   bool no_fsync = false;           // --no-fsync
   unsigned interrupt_after = 0;    // --interrupt-after N (drain drill)
+  unsigned timeout = 0;            // --timeout SEC wall-clock budget (exit 3)
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -84,10 +85,12 @@ inline BenchOptions parse_options(int argc, char** argv) {
       o.no_fsync = true;
     } else if (std::strcmp(argv[i], "--interrupt-after") == 0 && i + 1 < argc) {
       o.interrupt_after = parse_unsigned_or_die("--interrupt-after", argv[++i]);
+    } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
+      o.timeout = parse_unsigned_or_die("--timeout", argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--progress] [--threads N] [--trace FILE]\n"
-                   "          [--metrics-out FILE] [--profile]\n"
+                   "          [--metrics-out FILE] [--profile] [--timeout SEC]\n"
                    "          [--checkpoint-dir DIR [--checkpoint-interval N]\n"
                    "           [--resume] [--no-fsync] [--interrupt-after N]]\n",
                    argv[0]);
@@ -181,11 +184,12 @@ inline exp::ExecOptions exec_options(const BenchOptions& o,
     e.checkpoint.fsync =
         o.no_fsync ? fault::FsyncPolicy::kNone : fault::FsyncPolicy::kEveryShard;
   }
-  if (!o.checkpoint_dir.empty() || o.interrupt_after != 0) {
+  if (!o.checkpoint_dir.empty() || o.interrupt_after != 0 || o.timeout != 0) {
     e.interrupt = &fault::global_interrupt();
     e.interrupt->clear();
     if (o.interrupt_after != 0) e.interrupt->arm_after(o.interrupt_after);
     fault::install_drain_handlers();
+    if (o.timeout != 0) fault::arm_wallclock_timeout(o.timeout);
   }
   return e;
 }

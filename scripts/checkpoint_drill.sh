@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Kill-and-resume drill for the crash-safe checkpoint subsystem
-# (docs/fault_simulation.md "Checkpoint/resume").
+# Kill-and-resume + multi-process chaos drill for the crash-safe checkpoint
+# subsystem (docs/fault_simulation.md "Checkpoint/resume") and the stlserve
+# orchestrator (docs/runtime.md "stlserve").
 #
-# Three legs, each ending in a byte-for-byte diff against an uninterrupted
+# Five legs, each ending in a byte-for-byte diff against an uninterrupted
 # reference run of the same seeded stlrun disturbance campaign:
 #
 #   1. deterministic kill point (--interrupt-after): the run drains after N
@@ -13,6 +14,14 @@
 #   3. real SIGTERM mid-run: the signal handler requests a cooperative
 #      drain; resume completes the campaign. (If the signal lands after the
 #      last run finished, the run exits 0 with the full report — also fine.)
+#   4. multi-process chaos: stlserve fans the same campaign out over 4
+#      worker processes, two of which SIGKILL themselves mid-shard; the
+#      supervisor respawns them, they resume their own journals, and the
+#      merged report must equal the stlrun reference;
+#   5. supervisor interruption + corruption: SIGTERM the stlserve supervisor
+#      mid-campaign (workers drain cooperatively), bit-flip one worker's
+#      shard file, then `stlserve run --resume` must quarantine the damage,
+#      finish the campaign and still match the reference.
 #
 # Usage: scripts/checkpoint_drill.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -20,8 +29,13 @@ cd "$(dirname "$0")/.."
 
 BUILD="${1:-build}"
 STLRUN="$BUILD/tools/stlrun"
+STLSERVE="$BUILD/tools/stlserve"
 if [ ! -x "$STLRUN" ]; then
   echo "checkpoint-drill: $STLRUN not found; build the stlrun target first" >&2
+  exit 1
+fi
+if [ ! -x "$STLSERVE" ]; then
+  echo "checkpoint-drill: $STLSERVE not found; build the stlserve target first" >&2
   exit 1
 fi
 
@@ -98,5 +112,61 @@ case "$rc" in
     exit 1
     ;;
 esac
+
+# The same campaign as ARGS, as an stlserve spec (stall/margin/attempts are
+# left at the shared defaults, so the merged report must byte-match the
+# single-process reference above).
+cat > "$WORK/spec.json" <<'EOF'
+{
+  "seed": "0xd171",
+  "runs": 200,
+  "cores": 3,
+  "events": 8,
+  "permanent": 30,
+  "workers": 4,
+  "checkpoint_interval": 16
+}
+EOF
+
+echo "== leg 4: 4 worker processes, two SIGKILL themselves mid-shard"
+"$STLSERVE" run --spec "$WORK/spec.json" --dir "$WORK/serve4" --no-fsync \
+    --backoff-base-ms 50 --chaos 0:kill-after:5 --chaos 2:kill-after:9 \
+    > "$WORK/serve4.txt" 2> "$WORK/serve4.err"
+grep -q "respawn" "$WORK/serve4.err" || {
+  echo "checkpoint-drill: supervisor never respawned a killed worker" >&2
+  cat "$WORK/serve4.err" >&2
+  exit 1
+}
+diff "$WORK/reference.txt" "$WORK/serve4.txt"
+echo "   two workers killed and respawned; merged report is byte-identical"
+
+echo "== leg 5: SIGTERM the supervisor, bit-flip a shard, resume"
+"$STLSERVE" run --spec "$WORK/spec.json" --dir "$WORK/serve5" --no-fsync \
+    --quiet > /dev/null 2> /dev/null &
+PID=$!
+sleep 0.4
+kill -TERM "$PID" 2> /dev/null || true
+rc=0
+wait "$PID" || rc=$?
+if [ "$rc" -ne 3 ] && [ "$rc" -ne 0 ]; then
+  echo "checkpoint-drill: expected stlserve exit 3 (or 0), got $rc" >&2
+  exit 1
+fi
+# Damage one worker's journal (when any was flushed before the drain): the
+# resume must quarantine it and re-execute the lost runs.
+SHARD="$(find "$WORK/serve5" -name 'shard-000000.ckpt' | head -n 1 || true)"
+if [ -n "$SHARD" ]; then
+  printf '\xff' | dd of="$SHARD" bs=1 seek=60 conv=notrunc status=none
+fi
+"$STLSERVE" run --dir "$WORK/serve5" --resume --no-fsync \
+    > "$WORK/serve5.txt" 2> "$WORK/serve5.err"
+if [ -n "$SHARD" ]; then
+  find "$WORK/serve5" -name '*.corrupt*' | grep -q . || {
+    echo "checkpoint-drill: corrupt stlserve shard was not quarantined" >&2
+    exit 1
+  }
+fi
+diff "$WORK/reference.txt" "$WORK/serve5.txt"
+echo "   supervisor drained, corruption quarantined; resume is byte-identical"
 
 echo "checkpoint-drill: OK"

@@ -335,6 +335,20 @@ CampaignResult Campaign::run() {
     res.ckpt.shards_loaded = loaded.shards_loaded;
     res.ckpt.shards_corrupt = loaded.shards_corrupt;
   }
+  if (!cfg_.merge_dirs.empty()) {
+    // Post-hoc shard merge: per-shard journals all share this campaign's
+    // manifest identity (the shard range is excluded from the hash), so their
+    // records drop into the same resume path as a single-dir checkpoint.
+    MultiLoadedCheckpoint merged =
+        load_checkpoint_dirs(cfg_.merge_dirs, PayloadKind::kFaultOutcomes,
+                             checkpoint_config_hash(cfg_, *nl, good), cfg_.sink);
+    loaded.records.insert(loaded.records.end(),
+                          std::make_move_iterator(merged.records.begin()),
+                          std::make_move_iterator(merged.records.end()));
+    res.ckpt.enabled = true;
+    res.ckpt.shards_loaded += merged.shards_loaded;
+    res.ckpt.shards_corrupt += merged.shards_corrupt;
+  }
 
   // --- Phase 0: good run with trace recording + checkpoints ---------------------
   tracker.begin_phase(CampaignPhase::kGoodRun, 0);
@@ -392,6 +406,17 @@ CampaignResult Campaign::run() {
       ++res.ckpt.records_resumed;
     }
     res.outcomes[r.index] = static_cast<FaultOutcome>(r.payload[0]);
+  }
+
+  // Shard range: everything outside [unit_begin, unit_end) is some other
+  // worker's slice — pre-marked done (placeholder kNotExcited, not counted as
+  // resumed, never journalled) so screening skips whole out-of-range lane
+  // groups and detection never claims those faults.
+  if (cfg_.unit_begin != 0 || cfg_.unit_end != 0) {
+    if (cfg_.unit_begin >= cfg_.unit_end)
+      throw std::runtime_error("fault campaign: empty shard range");
+    for (std::size_t i = 0; i < faults.size(); ++i)
+      if (i < cfg_.unit_begin || i >= cfg_.unit_end) done[i] = 1;
   }
 
   // Encodes the c-th recorded module call into a screening state.

@@ -81,6 +81,22 @@ struct CampaignConfig {
   /// the campaign returns a partial result with ckpt.interrupted set.
   /// Null = never interrupted. Not part of the config hash.
   InterruptToken* interrupt = nullptr;
+  /// Half-open shard range [unit_begin, unit_end) over the *simulated* fault
+  /// list this process executes; (0, 0) = everything. Out-of-range faults are
+  /// pre-marked done with a kNotExcited placeholder (never journalled, never
+  /// simulated), so a shard worker screens and detects only its slice.
+  /// Deliberately EXCLUDED from the checkpoint config hash: every shard of a
+  /// partitioned campaign shares one manifest identity, which is what lets
+  /// src/serve/ reassign a dead worker's subdir to a fresh worker and merge
+  /// all subdirs back into the full result.
+  u64 unit_begin = 0;
+  u64 unit_end = 0;
+  /// Post-hoc merge: additionally load the journals of these per-shard
+  /// checkpoint directories (fault/checkpoint.h load_checkpoint_dirs) and
+  /// treat their records as resumed. Faults no journal covers are simply
+  /// re-executed in-process, so the merged result is byte-identical to the
+  /// single-process run by the same contract as --resume. Not hashed.
+  std::vector<std::string> merge_dirs;
 };
 
 /// The scenario under grade: builds a fresh SoC with all programs loaded and

@@ -9,8 +9,11 @@
 
 #ifndef _WIN32
 #include <fcntl.h>
+#include <signal.h>
 #include <unistd.h>
 #endif
+
+#include <ctime>
 
 #include "common/version.h"
 #include "mem/memmap.h"
@@ -36,6 +39,7 @@ constexpr std::size_t kShardHeaderBytes = kShardChecksummedBytes + 8;
 constexpr std::size_t kManifestChecksummedBytes = 8 + 4 + 4 + 8 + kManifestProducerBytes;
 constexpr std::size_t kManifestBytes = kManifestChecksummedBytes + 8;
 constexpr const char* kManifestName = "manifest.ckpt";
+constexpr const char* kLockName = "manifest.lock";
 
 void put32(std::vector<u8>& out, u32 v) {
   for (unsigned i = 0; i < 4; ++i) out.push_back(static_cast<u8>(v >> (8 * i)));
@@ -256,9 +260,15 @@ InterruptToken& global_interrupt() {
 
 namespace {
 void drain_signal_handler(int) { global_interrupt().request_stop(); }
+
+/// One-shot guard for install_drain_handlers(). A fork() inherits both the
+/// parent's handler table and this flag, which is exactly why
+/// reset_for_child() clears it before re-installing.
+std::atomic<bool> g_handlers_installed{false};
 }  // namespace
 
 void install_drain_handlers() {
+  if (g_handlers_installed.exchange(true, std::memory_order_acq_rel)) return;
 #ifndef _WIN32
   struct sigaction sa = {};
   sa.sa_handler = drain_signal_handler;
@@ -269,6 +279,25 @@ void install_drain_handlers() {
 #else
   std::signal(SIGINT, drain_signal_handler);
   std::signal(SIGTERM, drain_signal_handler);
+#endif
+}
+
+void reset_for_child() {
+  global_interrupt().clear();
+  g_handlers_installed.store(false, std::memory_order_release);
+  install_drain_handlers();
+}
+
+void arm_wallclock_timeout(unsigned seconds) {
+#ifndef _WIN32
+  struct sigaction sa = {};
+  sa.sa_handler = drain_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGALRM, &sa, nullptr);
+  ::alarm(seconds);  // 0 cancels any pending alarm
+#else
+  (void)seconds;  // no wall-clock budget on Windows builds
 #endif
 }
 
@@ -368,6 +397,32 @@ LoadedCheckpoint load_checkpoint(const CheckpointConfig& cfg, PayloadKind kind,
   return out;
 }
 
+MultiLoadedCheckpoint load_checkpoint_dirs(const std::vector<std::string>& dirs,
+                                           PayloadKind kind, u64 config_hash,
+                                           trace::EventSink* sink) {
+  MultiLoadedCheckpoint out;
+  for (const std::string& d : dirs) {
+    CheckpointConfig cfg;
+    cfg.dir = d;
+    cfg.resume = true;
+    if (!checkpoint_present(cfg)) {
+      // The shard's worker never reached its first manifest write (or the
+      // directory was never created). Its units are simply absent; the
+      // caller re-executes them. A *present but mismatched* manifest still
+      // throws below.
+      ++out.dirs_absent;
+      continue;
+    }
+    LoadedCheckpoint one = load_checkpoint(cfg, kind, config_hash, sink);
+    out.shards_loaded += one.shards_loaded;
+    out.shards_corrupt += one.shards_corrupt;
+    out.records.insert(out.records.end(),
+                       std::make_move_iterator(one.records.begin()),
+                       std::make_move_iterator(one.records.end()));
+  }
+  return out;
+}
+
 CheckpointWriter::CheckpointWriter(const CheckpointConfig& cfg, PayloadKind kind,
                                    u64 config_hash, u32 first_shard,
                                    trace::EventSink* sink)
@@ -377,24 +432,90 @@ CheckpointWriter::CheckpointWriter(const CheckpointConfig& cfg, PayloadKind kind
   cfg_.interval = std::max<u32>(1, cfg_.interval);
   const fs::path dir = cfg_.dir;
   fs::create_directories(dir);
-  if (!cfg_.resume) {
-    // A leftover manifest or shard means this directory belongs to another
-    // (possibly still-resumable) campaign; starting fresh over it must be an
-    // explicit decision.
-    bool occupied = fs::exists(dir / kManifestName);
-    for (const auto& entry : fs::directory_iterator(dir))
-      occupied |= shard_number(entry.path().filename().string()) != SIZE_MAX;
-    if (occupied)
-      throw CheckpointMismatch(
-          "checkpoint: '" + cfg_.dir +
-          "' already holds a checkpoint — resume it or point at a clean "
-          "directory");
-    atomic_write(dir / kManifestName, encode_manifest(kind_, hash_), cfg_.fsync);
-  } else if (!fs::exists(dir / kManifestName)) {
-    throw CheckpointMismatch("checkpoint: resume writer found no manifest in '" +
-                             cfg_.dir + "'");
+  acquire_lock();
+  try {
+    if (!cfg_.resume) {
+      // A leftover manifest or shard means this directory belongs to another
+      // (possibly still-resumable) campaign; starting fresh over it must be an
+      // explicit decision.
+      bool occupied = fs::exists(dir / kManifestName);
+      for (const auto& entry : fs::directory_iterator(dir))
+        occupied |= shard_number(entry.path().filename().string()) != SIZE_MAX;
+      if (occupied)
+        throw CheckpointMismatch(
+            "checkpoint: '" + cfg_.dir +
+            "' already holds a checkpoint — resume it or point at a clean "
+            "directory");
+      atomic_write(dir / kManifestName, encode_manifest(kind_, hash_), cfg_.fsync);
+    } else if (!fs::exists(dir / kManifestName)) {
+      throw CheckpointMismatch("checkpoint: resume writer found no manifest in '" +
+                               cfg_.dir + "'");
+    }
+  } catch (...) {
+    // A throwing constructor never runs the destructor — release the just-
+    // claimed lock here or it outlives this (still running) process.
+    if (!lock_path_.empty()) {
+      std::error_code ec;
+      fs::remove(lock_path_, ec);
+      lock_path_.clear();
+    }
+    throw;
   }
   enabled_ = true;
+}
+
+CheckpointWriter::~CheckpointWriter() {
+  if (lock_path_.empty()) return;
+  std::error_code ec;
+  fs::remove(lock_path_, ec);
+}
+
+/// Advisory single-writer lock. O_CREAT|O_EXCL is the atomic claim; the file
+/// body ("pid N\nstart T\n") identifies the owner so a contender can tell a
+/// live writer (fail fast, CheckpointMismatch) from a dead one (crashed or
+/// SIGKILLed worker — break the stale lock and take over). A lock naming this
+/// process is also stale: only one CheckpointWriter per dir exists at a time
+/// in-process, so it was leaked by an earlier incarnation (e.g. the exception
+/// path of a constructor that had already claimed it).
+void CheckpointWriter::acquire_lock() {
+#ifndef _WIN32
+  const fs::path lock = fs::path(cfg_.dir) / kLockName;
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const int fd = ::open(lock.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd >= 0) {
+      char body[64];
+      const int n =
+          std::snprintf(body, sizeof body, "pid %ld\nstart %lld\n",
+                        static_cast<long>(::getpid()),
+                        static_cast<long long>(std::time(nullptr)));
+      if (n > 0) {
+        const ssize_t wrote = ::write(fd, body, static_cast<std::size_t>(n));
+        (void)wrote;  // advisory metadata; the O_EXCL create is the claim
+      }
+      ::close(fd);
+      lock_path_ = lock.string();
+      return;
+    }
+    long owner = 0;
+    std::vector<u8> bytes;
+    if (read_file(lock, bytes)) {
+      bytes.push_back(0);
+      std::sscanf(reinterpret_cast<const char*>(bytes.data()), "pid %ld", &owner);
+    }
+    if (owner > 0 && owner != static_cast<long>(::getpid()) &&
+        ::kill(static_cast<pid_t>(owner), 0) == 0)
+      throw CheckpointMismatch(
+          "checkpoint: '" + cfg_.dir + "' is locked by running process " +
+          std::to_string(owner) +
+          " (manifest.lock) — two writers must not journal into the same "
+          "directory");
+    // Stale (owner dead, unreadable, or this very process): break and retry.
+    std::error_code ec;
+    fs::remove(lock, ec);
+  }
+  throw CheckpointMismatch("checkpoint: could not acquire manifest.lock in '" +
+                           cfg_.dir + "' (lock churn — is another writer racing?)");
+#endif
 }
 
 void CheckpointWriter::add(u64 index, std::vector<u8> payload) {

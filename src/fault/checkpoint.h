@@ -158,8 +158,25 @@ class InterruptToken {
 InterruptToken& global_interrupt();
 
 /// Install SIGINT/SIGTERM handlers that request a cooperative drain on
-/// global_interrupt() instead of killing the process. Idempotent.
+/// global_interrupt() instead of killing the process. Idempotent: repeated
+/// calls (from a tool AND a library layer, or across campaigns) install the
+/// handlers exactly once per process image.
 void install_drain_handlers();
+
+/// Reset the drain machinery in a freshly forked worker process: clears any
+/// inherited stop request / armed countdown on global_interrupt() and
+/// re-installs the handlers under this process's identity (a fork inherits
+/// the parent's handler table AND the parent's already-installed flag, so a
+/// plain install_drain_handlers() call would be a no-op there). Workers of
+/// the stlserve orchestrator call this first thing (src/serve/).
+void reset_for_child();
+
+/// Arm a wall-clock budget for the whole process: after `seconds`, SIGALRM
+/// requests a cooperative drain on global_interrupt() — exactly the SIGTERM
+/// contract (finish in-flight units, flush a final shard, exit resumable).
+/// 0 cancels a pending budget. Drives `--timeout` in stlrun and the table
+/// benches (tools/cli_util.h exit-code contract, code 3).
+void arm_wallclock_timeout(unsigned seconds);
 
 // -----------------------------------------------------------------------------
 // Hashing
@@ -227,11 +244,37 @@ bool checkpoint_present(const CheckpointConfig& cfg);
 LoadedCheckpoint load_checkpoint(const CheckpointConfig& cfg, PayloadKind kind,
                                  u64 config_hash, trace::EventSink* sink);
 
+/// Multi-shard merge primitive (src/serve/): verify and load the journals of
+/// several per-shard checkpoint directories — all bound to the SAME config
+/// hash, since a shard range is deliberately excluded from it — as one
+/// record stream, directories in the given order, shards by number within
+/// each. A directory that never got far enough to hold a manifest is counted
+/// in `dirs_absent` and skipped (its units are simply missing, to be
+/// re-executed by the caller); a directory bound to a DIFFERENT campaign
+/// still throws CheckpointMismatch — silent cross-campaign merges stay
+/// impossible.
+struct MultiLoadedCheckpoint {
+  std::vector<ShardRecord> records;
+  u32 shards_loaded = 0;
+  u32 shards_corrupt = 0;
+  u32 dirs_absent = 0;
+};
+MultiLoadedCheckpoint load_checkpoint_dirs(const std::vector<std::string>& dirs,
+                                           PayloadKind kind, u64 config_hash,
+                                           trace::EventSink* sink);
+
 /// Accumulates completed records and flushes a shard every
 /// `cfg.interval` records (plus a final explicit flush). Thread-safe: the
 /// campaign workers call add() concurrently; whichever worker fills the
 /// interval writes the shard under the internal mutex. Inert when
 /// cfg.dir is empty.
+///
+/// Single-writer discipline is enforced with an advisory lockfile
+/// (`manifest.lock`, owner PID + start time): a second process journaling
+/// into the same directory fails fast with CheckpointMismatch instead of
+/// interleaving shard writes; a lock whose owner is dead (crashed or
+/// SIGKILLed worker) is broken and taken over. The lock is released on
+/// destruction.
 class CheckpointWriter {
  public:
   /// A fresh (non-resume) writer refuses a directory that already holds a
@@ -241,6 +284,9 @@ class CheckpointWriter {
   /// continues shard numbering at `first_shard`.
   CheckpointWriter(const CheckpointConfig& cfg, PayloadKind kind, u64 config_hash,
                    u32 first_shard, trace::EventSink* sink);
+  ~CheckpointWriter();
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
 
   bool enabled() const { return enabled_; }
   void add(u64 index, std::vector<u8> payload);
@@ -251,6 +297,7 @@ class CheckpointWriter {
 
  private:
   void flush_locked();
+  void acquire_lock();
 
   CheckpointConfig cfg_;
   PayloadKind kind_ = PayloadKind::kFaultOutcomes;
@@ -263,6 +310,7 @@ class CheckpointWriter {
   std::atomic<u32> flushed_{0};
   std::atomic<u64> flush_ns_{0};
   u64 flush_seq_ = 0;
+  std::string lock_path_;  // owned manifest.lock (empty = none held)
 };
 
 }  // namespace detstl::fault

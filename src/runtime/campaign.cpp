@@ -258,6 +258,19 @@ CampaignResult run_disturbance_campaign(
   const auto stop_requested = [&spec] {
     return spec.interrupt != nullptr && spec.interrupt->stop_requested();
   };
+  // Accept a journalled record iff it parses loss-lessly and carries the
+  // derived seed of its run index; anything else is dropped and re-executed.
+  const auto apply_record = [&](const fault::ShardRecord& sr) {
+    RunRecord rec;
+    if (sr.index >= spec.runs || !deserialize_run_record(sr.payload, rec) ||
+        rec.seed != derive_run_seed(spec.seed, static_cast<unsigned>(sr.index)))
+      return;
+    if (done[sr.index] == 0) {
+      done[sr.index] = 1;
+      ++res.ckpt.records_resumed;
+    }
+    res.records[sr.index] = std::move(rec);
+  };
   if (spec.checkpoint.enabled()) {
     const u64 hash = checkpoint_config_hash(spec, plan);
     if (spec.checkpoint.resume)
@@ -269,17 +282,26 @@ CampaignResult run_disturbance_campaign(
     res.ckpt.enabled = true;
     res.ckpt.shards_loaded = loaded.shards_loaded;
     res.ckpt.shards_corrupt = loaded.shards_corrupt;
-    for (const fault::ShardRecord& sr : loaded.records) {
-      RunRecord rec;
-      if (sr.index >= spec.runs || !deserialize_run_record(sr.payload, rec) ||
-          rec.seed != derive_run_seed(spec.seed, static_cast<unsigned>(sr.index)))
-        continue;
-      if (done[sr.index] == 0) {
-        done[sr.index] = 1;
-        ++res.ckpt.records_resumed;
-      }
-      res.records[sr.index] = std::move(rec);
-    }
+    for (const fault::ShardRecord& sr : loaded.records) apply_record(sr);
+  }
+  if (!spec.merge_dirs.empty()) {
+    // Post-hoc shard merge (src/serve/): the per-shard journals share this
+    // campaign's manifest identity because the shard range is not hashed.
+    const fault::MultiLoadedCheckpoint merged = fault::load_checkpoint_dirs(
+        spec.merge_dirs, fault::PayloadKind::kDisturbanceRuns,
+        checkpoint_config_hash(spec, plan), spec.sink);
+    res.ckpt.enabled = true;
+    res.ckpt.shards_loaded += merged.shards_loaded;
+    res.ckpt.shards_corrupt += merged.shards_corrupt;
+    for (const fault::ShardRecord& sr : merged.records) apply_record(sr);
+  }
+
+  // Shard range: runs outside [unit_begin, unit_end) belong to other workers.
+  if (spec.unit_begin != 0 || spec.unit_end != 0) {
+    if (spec.unit_begin >= spec.unit_end)
+      throw std::runtime_error("campaign: empty shard range");
+    for (u64 i = 0; i < spec.runs; ++i)
+      if (i < spec.unit_begin || i >= spec.unit_end) done[i] = 1;
   }
 
   // Outcomes are written by run index; aggregates (report, digest) are
@@ -301,6 +323,7 @@ CampaignResult run_disturbance_campaign(
         perf::sim_totals().add(perf::SimStat::kDisturbCycles,
                                res.records[i].result.total_cycles);
         if (writer) writer->add(i, serialize_run_record(res.records[i]));
+        if (spec.on_run_complete) spec.on_run_complete(i);
         if (spec.interrupt != nullptr) spec.interrupt->on_unit_complete();
       }
     }

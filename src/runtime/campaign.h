@@ -7,6 +7,7 @@
 // pre-sized vector and every aggregate is derived from that vector after the
 // join, so scheduling order can never leak into the output.
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,24 @@ struct CampaignSpec {
   /// detscope sink for kCkptFlush/kCkptLoad/kCkptReject telemetry only (the
   /// supervised runs themselves never trace here). Non-owning; null = off.
   trace::EventSink* sink = nullptr;
+  /// Half-open shard range [unit_begin, unit_end) of run indices this process
+  /// executes; (0, 0) = all runs. Out-of-range runs are pre-marked done (never
+  /// executed, never journalled). EXCLUDED from the checkpoint config hash so
+  /// every shard of a partitioned campaign shares one manifest identity — the
+  /// property src/serve/ relies on to reassign and merge per-shard journals.
+  u64 unit_begin = 0;
+  u64 unit_end = 0;
+  /// Post-hoc merge: additionally load the journals of these per-shard
+  /// checkpoint directories and treat their records as resumed; runs no
+  /// journal covers are re-executed in-process. The merged result is
+  /// byte-identical to the single-process run by the --resume contract.
+  /// Not hashed.
+  std::vector<std::string> merge_dirs;
+  /// Observability hook invoked once per run completed by THIS process (not
+  /// for resumed records), with the run index. May be called concurrently
+  /// from worker threads; must never affect the result. Not hashed. The
+  /// stlserve workers bump their heartbeat file here.
+  std::function<void(u64)> on_run_complete;
 };
 
 struct RunRecord {

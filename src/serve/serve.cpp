@@ -1,0 +1,497 @@
+#include "serve/serve.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
+
+#ifndef _WIN32
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+#include "fault/checkpoint.h"
+
+namespace fs = std::filesystem;
+
+namespace detstl::serve {
+
+namespace {
+
+constexpr const char* kSpecFileName = "campaign-spec.json";
+
+using Clock = std::chrono::steady_clock;
+
+u64 ms_between(Clock::time_point a, Clock::time_point b) {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(b - a).count());
+}
+
+std::uintmax_t file_size_or_zero(const std::string& path) {
+  std::error_code ec;
+  const std::uintmax_t n = fs::file_size(path, ec);
+  return ec ? 0 : n;
+}
+
+void touch(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr)
+    throw std::runtime_error("stlserve: cannot create " + path);
+  std::fclose(f);
+}
+
+void append_byte(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return;  // heartbeat loss degrades to the wall-clock budget
+  std::fputc('.', f);
+  std::fclose(f);
+}
+
+}  // namespace
+
+std::vector<ShardPlan> plan_shards(u64 runs, unsigned workers,
+                                   const std::string& work_dir) {
+  std::vector<ShardPlan> out;
+  const u64 n = std::min<u64>(std::max(1u, workers), std::max<u64>(1, runs));
+  u64 begin = 0;
+  for (u64 k = 0; k < n; ++k) {
+    const u64 size = runs / n + (k < runs % n ? 1 : 0);
+    if (size == 0) continue;
+    char name[32];
+    std::snprintf(name, sizeof name, "shard-%02u", static_cast<unsigned>(k));
+    ShardPlan p;
+    p.begin = begin;
+    p.end = begin + size;
+    p.dir = work_dir + "/" + name;
+    p.heartbeat = p.dir + "/heartbeat";
+    begin = p.end;
+    out.push_back(std::move(p));
+  }
+  return out;
+}
+
+u64 shard_budget_ms(double per_run_ms, u64 remaining_runs, u64 floor_ms) {
+  if (per_run_ms <= 0.0) return floor_ms;
+  const double budget =
+      16.0 * per_run_ms * static_cast<double>(std::max<u64>(1, remaining_runs)) +
+      1'000.0;
+  return std::max<u64>(floor_ms, static_cast<u64>(budget));
+}
+
+int worker_main(const WorkerArgs& a) {
+  try {
+    fs::create_directories(a.dir);
+    touch(a.heartbeat);
+
+    runtime::CampaignSpec cs = to_campaign_spec(a.spec);
+    cs.threads = 1;  // process-level parallelism only; keeps workers preemptible
+    cs.unit_begin = a.begin;
+    cs.unit_end = a.end;
+    cs.checkpoint.dir = a.dir;
+    cs.checkpoint.interval = a.spec.checkpoint_interval;
+    cs.checkpoint.fsync =
+        a.no_fsync ? fault::FsyncPolicy::kNone : fault::FsyncPolicy::kEveryShard;
+    cs.checkpoint.resume = fault::checkpoint_present(cs.checkpoint);
+    cs.interrupt = &fault::global_interrupt();
+    fault::install_drain_handlers();
+
+    std::atomic<u64> completed{0};
+    cs.on_run_complete = [&a, &completed](u64) {
+      append_byte(a.heartbeat);
+      const u64 c = completed.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (a.chaos_action.empty() || c != a.chaos_after) return;
+      if (a.chaos_action == "kill-after" || a.chaos_action == "kill-every") {
+#ifndef _WIN32
+        ::kill(::getpid(), SIGKILL);  // a real crash: no drain, no final flush
+#endif
+      } else if (a.chaos_action == "hang-after") {
+        for (;;) std::this_thread::sleep_for(std::chrono::seconds(10));
+      }
+    };
+
+    const runtime::CampaignResult r = runtime::run_disturbance_campaign(cs);
+    return r.ckpt.interrupted ? 3 : 0;
+  } catch (const fault::CheckpointMismatch& e) {
+    std::fprintf(stderr, "stlserve worker: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "stlserve worker: %s\n", e.what());
+    return 1;
+  }
+}
+
+#ifdef _WIN32
+
+ServeResult run_campaign(const ServeSpec&, const ServeConfig&) {
+  throw std::runtime_error("stlserve: multi-process supervision requires POSIX");
+}
+
+#else
+
+namespace {
+
+enum class ShardState : u8 { kPending, kRunning, kDone, kFailed };
+
+struct Shard {
+  ShardPlan plan;
+  ShardState state = ShardState::kPending;
+  unsigned spawns = 0;  // 1 initial + respawns
+  pid_t pid = -1;
+  Clock::time_point spawn_time;
+  Clock::time_point next_spawn;  // backoff deadline (kPending)
+  std::uintmax_t hb_size = 0;
+  Clock::time_point hb_change;
+  bool chaos_spent = false;  // one-shot chaos rules already delivered
+};
+
+struct Supervisor {
+  Supervisor(const ServeSpec& s, const ServeConfig& c) : spec(s), cfg(c) {}
+
+  const ServeSpec& spec;
+  const ServeConfig& cfg;
+  std::string spec_path;
+  std::vector<Shard> shards;
+  std::vector<std::uintmax_t> hb_base;  // heartbeat bytes at supervisor start
+  ServeStats stats;
+  Clock::time_point t0 = Clock::now();
+
+  void note(const char* fmt, ...) const
+      __attribute__((format(printf, 2, 3))) {
+    if (cfg.quiet) return;
+    va_list ap;
+    va_start(ap, fmt);
+    std::fputs("stlserve: ", stderr);
+    std::vfprintf(stderr, fmt, ap);
+    std::fputc('\n', stderr);
+    va_end(ap);
+  }
+
+  const ChaosRule* chaos_for(unsigned shard_idx, const Shard& s) const {
+    for (const ChaosRule& r : cfg.chaos) {
+      if (r.shard != shard_idx) continue;
+      if (r.action == "kill-every") return &r;
+      if (!s.chaos_spent) return &r;  // kill-after / hang-after: first spawn only
+    }
+    return nullptr;
+  }
+
+  WorkerArgs worker_args(unsigned shard_idx, const ChaosRule* chaos) const {
+    const Shard& s = shards[shard_idx];
+    WorkerArgs wa;
+    wa.spec = spec;
+    wa.shard = shard_idx;
+    wa.begin = s.plan.begin;
+    wa.end = s.plan.end;
+    wa.dir = s.plan.dir;
+    wa.heartbeat = s.plan.heartbeat;
+    wa.no_fsync = cfg.no_fsync;
+    if (chaos != nullptr) {
+      wa.chaos_action = chaos->action;
+      wa.chaos_after = chaos->after;
+    }
+    return wa;
+  }
+
+  void spawn(unsigned shard_idx) {
+    Shard& s = shards[shard_idx];
+    const ChaosRule* chaos = chaos_for(shard_idx, s);
+    const WorkerArgs wa = worker_args(shard_idx, chaos);
+    if (chaos != nullptr) s.chaos_spent = true;
+
+    const pid_t pid = ::fork();
+    if (pid < 0) throw std::runtime_error("stlserve: fork failed");
+    if (pid == 0) {
+      if (cfg.worker_exe.empty()) {
+        // Test mode: run the worker in the forked image directly. The child
+        // inherited the parent's handler table and installed-flag — exactly
+        // what reset_for_child exists to fix.
+        fault::reset_for_child();
+        ::_exit(worker_main(wa));
+      }
+      char shard_s[16], begin_s[24], end_s[24], after_s[24];
+      std::snprintf(shard_s, sizeof shard_s, "%u", shard_idx);
+      std::snprintf(begin_s, sizeof begin_s, "%llu",
+                    static_cast<unsigned long long>(wa.begin));
+      std::snprintf(end_s, sizeof end_s, "%llu",
+                    static_cast<unsigned long long>(wa.end));
+      std::string chaos_arg;
+      if (!wa.chaos_action.empty()) {
+        std::snprintf(after_s, sizeof after_s, "%llu",
+                      static_cast<unsigned long long>(wa.chaos_after));
+        chaos_arg = wa.chaos_action + ":" + after_s;
+      }
+      std::vector<const char*> argv = {
+          cfg.worker_exe.c_str(), "--worker",
+          "--spec",               spec_path.c_str(),
+          "--shard",              shard_s,
+          "--begin",              begin_s,
+          "--end",                end_s,
+          "--dir",                wa.dir.c_str(),
+          "--heartbeat",          wa.heartbeat.c_str(),
+      };
+      if (wa.no_fsync) argv.push_back("--no-fsync");
+      if (!chaos_arg.empty()) {
+        argv.push_back("--chaos-self");
+        argv.push_back(chaos_arg.c_str());
+      }
+      argv.push_back(nullptr);
+      ::execv(cfg.worker_exe.c_str(),
+              const_cast<char* const*>(
+                  const_cast<const char* const*>(argv.data())));
+      ::_exit(127);
+    }
+    s.pid = pid;
+    s.state = ShardState::kRunning;
+    ++s.spawns;
+    s.spawn_time = s.hb_change = Clock::now();
+    s.hb_size = file_size_or_zero(s.plan.heartbeat);
+    note("shard %u [%llu, %llu) -> pid %ld (spawn %u)", shard_idx,
+         static_cast<unsigned long long>(s.plan.begin),
+         static_cast<unsigned long long>(s.plan.end), static_cast<long>(pid),
+         s.spawns);
+  }
+
+  /// A running worker ended (or was ended): decide Done / respawn /
+  /// quarantine+respawn / Failed. `code` >= 0 is an exit code, < 0 the
+  /// negated terminating signal.
+  void conclude(unsigned shard_idx, int code) {
+    Shard& s = shards[shard_idx];
+    s.pid = -1;
+    if (code == 0) {
+      s.state = ShardState::kDone;
+      note("shard %u done", shard_idx);
+      return;
+    }
+    if (code == 2) {
+      // The worker refused its own journal (corrupt manifest, foreign
+      // campaign). Set the whole subdir aside as evidence and start the
+      // shard over on a clean one.
+      std::error_code ec;
+      fs::rename(s.plan.dir,
+                 s.plan.dir + ".corrupt-" + std::to_string(s.spawns), ec);
+      ++stats.dirs_quarantined;
+      note("shard %u: journal rejected — subdir quarantined", shard_idx);
+    }
+    if (s.spawns > cfg.max_respawns) {
+      s.state = ShardState::kFailed;
+      note("shard %u: %u spawns exhausted (last %s %d) — will fall back "
+           "in-process",
+           shard_idx, s.spawns, code < 0 ? "signal" : "exit",
+           code < 0 ? -code : code);
+      return;
+    }
+    const u64 shift = std::min<unsigned>(s.spawns - 1, 16);
+    const u64 backoff = std::min<u64>(
+        static_cast<u64>(cfg.backoff_base_ms) << shift, cfg.backoff_cap_ms);
+    s.state = ShardState::kPending;
+    s.next_spawn = Clock::now() + std::chrono::milliseconds(backoff);
+    ++stats.respawns;
+    note("shard %u: worker %s %d — respawn %u in %llu ms", shard_idx,
+         code < 0 ? "died on signal" : "exited", code < 0 ? -code : code,
+         s.spawns, static_cast<unsigned long long>(backoff));
+  }
+
+  void reap() {
+    for (unsigned k = 0; k < shards.size(); ++k) {
+      Shard& s = shards[k];
+      if (s.state != ShardState::kRunning) continue;
+      int st = 0;
+      const pid_t r = ::waitpid(s.pid, &st, WNOHANG);
+      if (r != s.pid) continue;
+      conclude(k, WIFEXITED(st) ? WEXITSTATUS(st)
+                                : -(WIFSIGNALED(st) ? WTERMSIG(st) : SIGKILL));
+    }
+  }
+
+  /// Campaign-wide pace from heartbeat growth since this supervisor
+  /// started; 0 until enough beats arrived to be meaningful.
+  double observed_per_run_ms(Clock::time_point now) const {
+    u64 beats = 0;
+    for (unsigned k = 0; k < shards.size(); ++k) {
+      const std::uintmax_t sz = shards[k].hb_size;
+      beats += sz > hb_base[k] ? sz - hb_base[k] : 0;
+    }
+    if (beats < 8) return 0.0;
+    return static_cast<double>(ms_between(t0, now)) / static_cast<double>(beats);
+  }
+
+  void watchdogs() {
+    const Clock::time_point now = Clock::now();
+    const double pace = observed_per_run_ms(now);
+    for (unsigned k = 0; k < shards.size(); ++k) {
+      Shard& s = shards[k];
+      if (s.state != ShardState::kRunning) continue;
+      const std::uintmax_t sz = file_size_or_zero(s.plan.heartbeat);
+      if (sz != s.hb_size) {
+        s.hb_size = sz;
+        s.hb_change = now;
+      }
+      const u64 stale_ms = ms_between(std::max(s.spawn_time, s.hb_change), now);
+      bool hung = stale_ms > cfg.hang_timeout_ms;
+      if (!hung) {
+        u64 budget = cfg.shard_timeout_ms;
+        if (budget == 0 && pace > 0.0) {
+          const u64 total = s.plan.end - s.plan.begin;
+          const u64 done_runs = std::min<u64>(s.hb_size, total);
+          budget = shard_budget_ms(pace, total - done_runs, cfg.hang_timeout_ms);
+        }
+        hung = budget != 0 && ms_between(s.spawn_time, now) > budget;
+      }
+      if (!hung) continue;
+      // SIGKILL first: a wedged simulator loop never sees SIGTERM's
+      // cooperative drain, and the journal is crash-safe by construction.
+      ::kill(s.pid, SIGKILL);
+      int st = 0;
+      ::waitpid(s.pid, &st, 0);
+      ++stats.hung_killed;
+      note("shard %u: hung (no heartbeat for %llu ms) — killed pid %ld", k,
+           static_cast<unsigned long long>(stale_ms), static_cast<long>(s.pid));
+      conclude(k, -SIGKILL);
+    }
+  }
+
+  /// Forward the drain to every worker, reap them all, leave the campaign
+  /// resumable.
+  void drain_children() {
+    for (Shard& s : shards) {
+      if (s.state != ShardState::kRunning) continue;
+      ::kill(s.pid, SIGTERM);
+    }
+    for (Shard& s : shards) {
+      if (s.state != ShardState::kRunning) continue;
+      int st = 0;
+      ::waitpid(s.pid, &st, 0);
+      s.pid = -1;
+      s.state = ShardState::kPending;
+    }
+    note("interrupted — campaign is resumable with --resume");
+  }
+
+  bool supervise() {  // false = interrupted
+    while (true) {
+      if (fault::global_interrupt().stop_requested()) {
+        drain_children();
+        return false;
+      }
+      reap();
+      watchdogs();
+      const Clock::time_point now = Clock::now();
+      unsigned running = 0;
+      for (const Shard& s : shards)
+        running += s.state == ShardState::kRunning ? 1 : 0;
+      const unsigned cap =
+          cfg.workers != 0 ? cfg.workers : std::max(1u, spec.workers);
+      bool pending = false;
+      for (unsigned k = 0; k < shards.size(); ++k) {
+        Shard& s = shards[k];
+        if (s.state != ShardState::kPending) continue;
+        pending = true;
+        if (running >= cap || now < s.next_spawn) continue;
+        spawn(k);
+        ++running;
+      }
+      if (!pending && running == 0) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(cfg.poll_ms));
+    }
+  }
+};
+
+}  // namespace
+
+ServeResult run_campaign(const ServeSpec& spec, const ServeConfig& cfg) {
+  if (cfg.work_dir.empty())
+    throw std::runtime_error("stlserve: a work directory is required");
+  fs::create_directories(cfg.work_dir);
+  const std::string spec_path = cfg.work_dir + "/" + kSpecFileName;
+  if (!cfg.resume && fs::exists(spec_path))
+    throw std::runtime_error("stlserve: '" + cfg.work_dir +
+                             "' already holds a campaign — resume it or point "
+                             "at a clean directory");
+  if (!fs::exists(spec_path)) {
+    std::FILE* f = std::fopen(spec_path.c_str(), "wb");
+    if (f == nullptr)
+      throw std::runtime_error("stlserve: cannot write " + spec_path);
+    const std::string json = spec_to_json(spec);
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+  }
+
+  fault::install_drain_handlers();
+
+  Supervisor sup{spec, cfg};
+  sup.spec_path = spec_path;
+  for (ShardPlan& p : plan_shards(spec.runs, cfg.workers != 0 ? cfg.workers
+                                                              : spec.workers,
+                                  cfg.work_dir)) {
+    Shard sh;
+    sh.plan = std::move(p);
+    sup.shards.push_back(std::move(sh));
+  }
+  sup.stats.shards = static_cast<unsigned>(sup.shards.size());
+  sup.hb_base.resize(sup.shards.size());
+  for (unsigned k = 0; k < sup.shards.size(); ++k)
+    sup.hb_base[k] = file_size_or_zero(sup.shards[k].plan.heartbeat);
+
+  ServeResult out;
+  if (!sup.supervise()) {
+    out.stats = sup.stats;
+    out.interrupted = true;
+    return out;
+  }
+
+  // Degradation floor: shards whose respawn budget ran dry execute in THIS
+  // process, resuming their own journal — the campaign completes as long as
+  // the supervisor itself survives.
+  for (unsigned k = 0; k < sup.shards.size(); ++k) {
+    Shard& s = sup.shards[k];
+    if (s.state != ShardState::kFailed) continue;
+    ++sup.stats.fallbacks;
+    sup.note("shard %u: executing in-process (degraded)", k);
+    const int rc = worker_main(sup.worker_args(k, nullptr));
+    if (rc == 3) {
+      out.stats = sup.stats;
+      out.interrupted = true;
+      return out;
+    }
+    if (rc != 0)
+      throw std::runtime_error("stlserve: shard " + std::to_string(k) +
+                               " failed even in-process (exit " +
+                               std::to_string(rc) + ")");
+    s.state = ShardState::kDone;
+  }
+
+  // Post-hoc merge: load every shard journal; any run no journal covers is
+  // re-executed right here (runtime::CampaignSpec::merge_dirs contract), so
+  // the result is byte-identical to the single-process campaign.
+  runtime::CampaignSpec ms = to_campaign_spec(spec);
+  for (const Shard& s : sup.shards) ms.merge_dirs.push_back(s.plan.dir);
+  ms.interrupt = &fault::global_interrupt();
+  out.result = runtime::run_disturbance_campaign(ms);
+  if (out.result.ckpt.interrupted) {
+    out.stats = sup.stats;
+    out.interrupted = true;
+    return out;
+  }
+  sup.stats.records_resumed = out.result.ckpt.records_resumed;
+  sup.stats.shards_corrupt = out.result.ckpt.shards_corrupt;
+  sup.stats.merge_reexecuted =
+      spec.runs >= out.result.ckpt.records_resumed
+          ? spec.runs - out.result.ckpt.records_resumed
+          : 0;
+  if (sup.stats.merge_reexecuted != 0)
+    sup.note("merge: %llu run(s) had no journal record — re-executed",
+             static_cast<unsigned long long>(sup.stats.merge_reexecuted));
+  out.stats = sup.stats;
+  return out;
+}
+
+#endif  // _WIN32
+
+}  // namespace detstl::serve

@@ -1,0 +1,147 @@
+#pragma once
+// stlserve orchestration layer (docs/runtime.md "stlserve"): supervised
+// multi-process execution of a disturbance campaign.
+//
+// The unit space [0, runs) is partitioned into one contiguous shard per
+// worker. Each shard runs in its own PROCESS — a re-entrant `stlserve
+// --worker` invocation (or a plain fork in test mode) — journaling into its
+// own per-shard checkpoint subdir (`<work_dir>/shard-NN/`) with the PR 5
+// checksummed-shard format. The shard range is deliberately excluded from
+// the checkpoint config hash, so every subdir carries the SAME manifest
+// identity as the single-process campaign: any worker can resume any
+// subdir, and all subdirs merge back into one result.
+//
+// Supervision ladder (mirrors runtime::StlSupervisor's degradation ladder,
+// applied to processes instead of cores):
+//
+//   spawn ──▶ RUNNING ──exit 0──▶ DONE
+//               │
+//               ├─ death (crash / nonzero exit / signal)
+//               ├─ hang  (heartbeat stale past the budget, or the whole
+//               │         shard past its calibrated wall-clock budget)
+//               │         → SIGKILL the worker first
+//               └─ corrupt journal (worker exits with the mismatch code)
+//                         → quarantine the subdir (*.corrupt-N), run fresh
+//               then: attempts <= max_respawns → respawn with exponential
+//                     backoff, RESUMING the shard's own journal;
+//                     attempts exhausted → degrade to in-process execution
+//                     of the shard range in the supervisor itself.
+//
+// The journal IS the IPC: workers print nothing and share nothing but their
+// subdir. Post-hoc the supervisor merges every subdir
+// (runtime::CampaignSpec::merge_dirs) and re-executes any run no journal
+// covers, so the final CampaignResult is byte-identical to the
+// single-process run no matter what was killed, hung or corrupted along
+// the way.
+//
+// A SIGTERM/SIGINT to the supervisor is forwarded to the workers; everyone
+// drains cooperatively and `stlserve run --resume` continues the campaign
+// (tools/cli_util.h exit-code contract, code 3).
+
+#include <string>
+#include <vector>
+
+#include "serve/spec.h"
+
+namespace detstl::serve {
+
+/// Deterministic failure injection for the chaos drill, applied by the
+/// worker itself after `after` completed runs. Actions: "kill-after"
+/// (raise SIGKILL; first spawn of the shard only), "hang-after" (spin
+/// forever; first spawn only), "kill-every" (SIGKILL on EVERY spawn —
+/// drives the respawn-exhaustion → in-process-fallback path).
+struct ChaosRule {
+  unsigned shard = 0;
+  std::string action;  // kill-after | hang-after | kill-every
+  u64 after = 0;
+};
+
+struct ServeConfig {
+  std::string work_dir;      // per-campaign checkpoint root (required)
+  unsigned workers = 0;      // worker processes; 0 = spec.workers
+  bool resume = false;       // resume an interrupted campaign in work_dir
+  unsigned max_respawns = 3;      // respawns per shard before fallback
+  unsigned backoff_base_ms = 100; // respawn k waits base << (k-1), capped
+  unsigned backoff_cap_ms = 2'000;
+  /// A worker whose heartbeat has not advanced for this long is declared
+  /// hung and SIGKILLed. Also the grace period after spawn.
+  unsigned hang_timeout_ms = 10'000;
+  /// Whole-shard wall-clock budget; 0 = derived from the observed pace via
+  /// shard_budget_ms() once enough heartbeats arrived.
+  u64 shard_timeout_ms = 0;
+  unsigned poll_ms = 25;     // supervisor poll period
+  bool quiet = false;        // suppress supervision notes on stderr
+  bool no_fsync = false;     // workers skip per-shard fsync (tests/CI)
+  std::vector<ChaosRule> chaos;
+  /// Worker executable for spawn-by-exec (`stlserve --worker ...`); empty =
+  /// fork without exec and call worker_main directly (test mode — also what
+  /// exercises fault::reset_for_child under real fork semantics).
+  std::string worker_exe;
+};
+
+/// One shard of the partition: the half-open run range [begin, end), its
+/// checkpoint subdir and its heartbeat file.
+struct ShardPlan {
+  u64 begin = 0;
+  u64 end = 0;
+  std::string dir;
+  std::string heartbeat;
+};
+
+/// Contiguous partition of [0, runs) into at most `workers` non-empty
+/// shards (fewer when runs < workers). Pure; deterministic.
+std::vector<ShardPlan> plan_shards(u64 runs, unsigned workers,
+                                   const std::string& work_dir);
+
+/// Wall-clock budget for a shard with `remaining_runs` left at an observed
+/// pace of `per_run_ms`: generous (16x the expected time plus slack) so
+/// only a truly wedged worker trips it, never a slow one. Pure;
+/// unit-tested directly.
+u64 shard_budget_ms(double per_run_ms, u64 remaining_runs, u64 floor_ms);
+
+/// Everything a worker process needs; built by the supervisor (fork mode)
+/// or parsed from `stlserve --worker` flags (exec mode).
+struct WorkerArgs {
+  ServeSpec spec;
+  unsigned shard = 0;
+  u64 begin = 0;
+  u64 end = 0;
+  std::string dir;        // this shard's checkpoint subdir
+  std::string heartbeat;  // touched at startup, +1 byte per completed run
+  bool no_fsync = false;
+  std::string chaos_action;  // empty = none
+  u64 chaos_after = 0;
+};
+
+/// Run one shard to completion: resume the subdir's journal when present,
+/// execute the remaining runs single-threaded, heartbeat per run. Returns
+/// a tools/cli_util.h exit code: 0 done, 1 error, 2 journal mismatch
+/// (supervisor quarantines the subdir), 3 drained (resumable).
+int worker_main(const WorkerArgs& args);
+
+/// Supervision outcome counters (host-side observability; never part of
+/// the campaign's determinism contract).
+struct ServeStats {
+  unsigned shards = 0;
+  unsigned respawns = 0;        // worker deaths answered with a respawn
+  unsigned hung_killed = 0;     // workers SIGKILLed by a watchdog
+  unsigned dirs_quarantined = 0;  // whole subdirs set aside (*.corrupt-N)
+  unsigned fallbacks = 0;       // shards degraded to in-process execution
+  u64 merge_reexecuted = 0;     // runs no journal covered, re-run at merge
+  u32 shards_corrupt = 0;       // corrupt journal files quarantined
+  u64 records_resumed = 0;      // records accepted at the final merge
+};
+
+struct ServeResult {
+  runtime::CampaignResult result;  // valid iff !interrupted
+  ServeStats stats;
+  bool interrupted = false;  // supervisor drained; resume with --resume
+};
+
+/// Orchestrate the whole campaign: partition, spawn, supervise, heal,
+/// merge. Throws std::runtime_error / fault::CheckpointMismatch on
+/// unrecoverable setup errors (bad work dir, unknown routine, foreign
+/// checkpoint).
+ServeResult run_campaign(const ServeSpec& spec, const ServeConfig& cfg);
+
+}  // namespace detstl::serve

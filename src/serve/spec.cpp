@@ -1,0 +1,174 @@
+#include "serve/spec.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "perf/json.h"
+
+namespace detstl::serve {
+
+namespace {
+
+using perf::json::Value;
+
+/// Range-checked unsigned field; mirrors the bounds of stlrun's flags.
+bool take_unsigned(const Value& v, const char* key, u64 lo, u64 hi, u64& out,
+                   std::string* err) {
+  if (!v.is_number()) {
+    if (err) *err = std::string("spec: \"") + key + "\" must be a number";
+    return false;
+  }
+  const u64 n = v.as_u64();
+  if (n < lo || n > hi || v.number < 0) {
+    if (err)
+      *err = std::string("spec: \"") + key + "\" out of range [" +
+             std::to_string(lo) + ", " + std::to_string(hi) + "]";
+    return false;
+  }
+  out = n;
+  return true;
+}
+
+}  // namespace
+
+bool parse_spec(const std::string& json_text, ServeSpec& out, std::string* err) {
+  Value root;
+  if (!perf::json::parse(json_text, root, err)) return false;
+  if (!root.is_object()) {
+    if (err) *err = "spec: top level must be an object";
+    return false;
+  }
+  ServeSpec s;
+  for (const auto& [key, v] : root.obj) {
+    u64 n = 0;
+    if (key == "kind") {
+      if (!v.is_string() || v.str != "disturbance") {
+        if (err) *err = "spec: \"kind\" must be \"disturbance\"";
+        return false;
+      }
+      s.kind = v.str;
+    } else if (key == "seed") {
+      // A JSON number or a hex/decimal string ("0xd171" survives tooling
+      // that would round a 64-bit number through a double).
+      if (v.is_number()) {
+        s.seed = v.as_u64();
+      } else if (v.is_string() && !v.str.empty()) {
+        char* end = nullptr;
+        s.seed = std::strtoull(v.str.c_str(), &end, 0);
+        if (end == nullptr || *end != '\0') {
+          if (err) *err = "spec: \"seed\" string is not a number";
+          return false;
+        }
+      } else {
+        if (err) *err = "spec: \"seed\" must be a number or a numeric string";
+        return false;
+      }
+    } else if (key == "runs") {
+      if (!take_unsigned(v, "runs", 1, 100'000, n, err)) return false;
+      s.runs = static_cast<unsigned>(n);
+    } else if (key == "cores") {
+      if (!take_unsigned(v, "cores", 1, 3, n, err)) return false;
+      s.cores = static_cast<unsigned>(n);
+    } else if (key == "routines") {
+      if (!v.is_array()) {
+        if (err) *err = "spec: \"routines\" must be an array of strings";
+        return false;
+      }
+      s.routines.clear();
+      for (const Value& r : v.arr) {
+        if (!r.is_string()) {
+          if (err) *err = "spec: \"routines\" must be an array of strings";
+          return false;
+        }
+        s.routines.push_back(r.str);
+      }
+    } else if (key == "events") {
+      if (!take_unsigned(v, "events", 0, 1'000, n, err)) return false;
+      s.events = static_cast<unsigned>(n);
+    } else if (key == "permanent") {
+      if (!take_unsigned(v, "permanent", 0, 100, n, err)) return false;
+      s.permanent = static_cast<unsigned>(n);
+    } else if (key == "stall") {
+      if (!take_unsigned(v, "stall", 1, 100'000, n, err)) return false;
+      s.stall = static_cast<unsigned>(n);
+    } else if (key == "margin") {
+      if (!take_unsigned(v, "margin", 0, 10'000, n, err)) return false;
+      s.margin = static_cast<unsigned>(n);
+    } else if (key == "attempts") {
+      if (!take_unsigned(v, "attempts", 1, 16, n, err)) return false;
+      s.attempts = static_cast<unsigned>(n);
+    } else if (key == "fallback_attempts") {
+      if (!take_unsigned(v, "fallback_attempts", 0, 16, n, err)) return false;
+      s.fallback_attempts = static_cast<unsigned>(n);
+    } else if (key == "workers") {
+      if (!take_unsigned(v, "workers", 1, 64, n, err)) return false;
+      s.workers = static_cast<unsigned>(n);
+    } else if (key == "checkpoint_interval") {
+      if (!take_unsigned(v, "checkpoint_interval", 1, 1'000'000, n, err))
+        return false;
+      s.checkpoint_interval = static_cast<u32>(n);
+    } else {
+      if (err) *err = "spec: unknown key \"" + key + "\"";
+      return false;
+    }
+  }
+  out = std::move(s);
+  return true;
+}
+
+std::string spec_to_json(const ServeSpec& spec) {
+  char seed[32];
+  std::snprintf(seed, sizeof seed, "0x%llx",
+                static_cast<unsigned long long>(spec.seed));
+  std::string routines;
+  for (std::size_t i = 0; i < spec.routines.size(); ++i)
+    routines += (i == 0 ? "\"" : ", \"") +
+                perf::json::escape(spec.routines[i]) + "\"";
+  std::string out = "{\n";
+  out += "  \"kind\": \"" + perf::json::escape(spec.kind) + "\",\n";
+  out += "  \"seed\": \"" + std::string(seed) + "\",\n";
+  out += "  \"runs\": " + std::to_string(spec.runs) + ",\n";
+  out += "  \"cores\": " + std::to_string(spec.cores) + ",\n";
+  out += "  \"routines\": [" + routines + "],\n";
+  out += "  \"events\": " + std::to_string(spec.events) + ",\n";
+  out += "  \"permanent\": " + std::to_string(spec.permanent) + ",\n";
+  out += "  \"stall\": " + std::to_string(spec.stall) + ",\n";
+  out += "  \"margin\": " + std::to_string(spec.margin) + ",\n";
+  out += "  \"attempts\": " + std::to_string(spec.attempts) + ",\n";
+  out += "  \"fallback_attempts\": " + std::to_string(spec.fallback_attempts) +
+         ",\n";
+  out += "  \"workers\": " + std::to_string(spec.workers) + ",\n";
+  out += "  \"checkpoint_interval\": " + std::to_string(spec.checkpoint_interval) +
+         "\n";
+  out += "}\n";
+  return out;
+}
+
+std::string example_spec_json() {
+  ServeSpec s;
+  s.seed = 0xD171;
+  s.runs = 200;
+  s.cores = 3;
+  s.routines = {"alu", "shifter", "branch"};
+  s.events = 8;
+  s.permanent = 30;
+  s.workers = 4;
+  return spec_to_json(s);
+}
+
+runtime::CampaignSpec to_campaign_spec(const ServeSpec& spec) {
+  runtime::CampaignSpec cs;
+  cs.seed = spec.seed;
+  cs.runs = spec.runs;
+  cs.cores = spec.cores;
+  cs.routines = spec.routines;
+  cs.disturb.count = spec.events;
+  cs.disturb.permanent_chance = spec.permanent / 100.0;
+  cs.disturb.stall_cycles = spec.stall;
+  cs.supervisor.margin_percent = spec.margin;
+  cs.supervisor.max_attempts = spec.attempts;
+  cs.supervisor.fallback_attempts = spec.fallback_attempts;
+  return cs;
+}
+
+}  // namespace detstl::serve

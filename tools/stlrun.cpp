@@ -70,6 +70,8 @@ void usage(std::FILE* to) {
       "  --resume                 load DIR's verified shards, run the remainder\n"
       "  --no-fsync               skip fsync on shard writes (faster, less durable)\n"
       "  --interrupt-after N      drill: request the drain after N completed runs\n"
+      "  --timeout SEC            wall-clock budget: drain cooperatively after SEC\n"
+      "                           seconds, same contract as SIGTERM (exit 3)\n"
       "\n"
       "  --version                print suite + checkpoint schema version\n");
 }
@@ -92,6 +94,7 @@ int cmd_campaign(int argc, char** argv) {
   std::vector<unsigned> verify_threads;
   bool digest_only = false;
   u64 interrupt_after = 0;
+  unsigned timeout_s = 0;
   std::string metrics_out;
 
   for (int i = 0; i < argc; ++i) {
@@ -149,6 +152,8 @@ int cmd_campaign(int argc, char** argv) {
     } else if (a == "--interrupt-after") {
       interrupt_after =
           cli::require_u64(kTool, "--interrupt-after", need(), 1, ~0ull);
+    } else if (a == "--timeout") {
+      timeout_s = cli::require_unsigned(kTool, "--timeout", need(), 1, 86'400);
     } else if (a == "--help" || a == "-h") {
       usage(stdout);
       return 0;
@@ -172,11 +177,12 @@ int cmd_campaign(int argc, char** argv) {
     return cli::kExitUsage;
   }
 
-  if (spec.checkpoint.enabled() || interrupt_after != 0) {
+  if (spec.checkpoint.enabled() || interrupt_after != 0 || timeout_s != 0) {
     spec.interrupt = &fault::global_interrupt();
     spec.interrupt->clear();
     if (interrupt_after != 0) spec.interrupt->arm_after(interrupt_after);
     fault::install_drain_handlers();
+    if (timeout_s != 0) fault::arm_wallclock_timeout(timeout_s);
   }
 
   if (!verify_threads.empty() && !metrics_out.empty()) {
@@ -202,10 +208,16 @@ int cmd_campaign(int argc, char** argv) {
     if (res.ckpt.interrupted) {
       std::size_t completed = 0;  // resumed + finished this session
       for (const RunRecord& r : res.records) completed += r.seed != 0 ? 1 : 0;
-      std::fprintf(stderr,
-                   "%s: interrupted after %zu/%u run(s); resume with "
-                   "--checkpoint-dir %s --resume\n",
-                   kTool, completed, res.runs, spec.checkpoint.dir.c_str());
+      if (spec.checkpoint.enabled())
+        std::fprintf(stderr,
+                     "%s: interrupted after %zu/%u run(s); resume with "
+                     "--checkpoint-dir %s --resume\n",
+                     kTool, completed, res.runs, spec.checkpoint.dir.c_str());
+      else
+        std::fprintf(stderr,
+                     "%s: interrupted after %zu/%u run(s); add "
+                     "--checkpoint-dir to make such runs resumable\n",
+                     kTool, completed, res.runs);
       return cli::kExitInterrupted;
     }
     if (digest_only)

@@ -1,0 +1,306 @@
+// stlserve — supervised multi-process campaign orchestrator (src/serve/,
+// docs/runtime.md "stlserve"). Accepts a JSON campaign spec, partitions the
+// runs into one shard per worker process, spawns re-entrant `stlserve
+// --worker` invocations each journaling into its own checkpoint subdir,
+// supervises them (heartbeats, wall-clock watchdogs, PID liveness), heals
+// failures (respawn with backoff, subdir quarantine, in-process fallback)
+// and merges the journals into a report byte-identical to `stlrun campaign`
+// with the same parameters.
+//
+// Exit codes follow tools/cli_util.h: 0 done, 1 failure, 2 usage error,
+// 3 interrupted but resumable (`stlserve run --dir D --resume`).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "cli_util.h"
+#include "common/table.h"
+#include "serve/serve.h"
+
+namespace {
+
+using namespace detstl;
+
+constexpr const char* kTool = "stlserve";
+
+void usage(std::FILE* out) {
+  std::fputs(
+      "usage: stlserve <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  run          orchestrate a campaign across worker processes\n"
+      "  print-spec   print an example JSON campaign spec\n"
+      "  --version    print version and checkpoint schema\n"
+      "\n"
+      "run options:\n"
+      "  --spec FILE            JSON campaign spec (see print-spec)\n"
+      "  --dir DIR              work directory (per-shard checkpoint subdirs)\n"
+      "  --workers N            override the spec's worker-process count\n"
+      "  --resume               resume an interrupted campaign in --dir\n"
+      "                         (reads DIR/campaign-spec.json; --spec optional)\n"
+      "  --max-respawns N       respawns per shard before in-process fallback "
+      "(default 3)\n"
+      "  --backoff-base-ms N    respawn backoff base (default 100)\n"
+      "  --backoff-cap-ms N     respawn backoff cap (default 2000)\n"
+      "  --hang-timeout-ms N    heartbeat staleness budget (default 10000)\n"
+      "  --shard-timeout-ms N   fixed whole-shard budget (default: calibrated)\n"
+      "  --poll-ms N            supervisor poll period (default 25)\n"
+      "  --fork-workers         fork without exec (in-process workers; tests)\n"
+      "  --no-fsync             workers skip per-shard fsync\n"
+      "  --chaos K:ACTION:N     chaos drill: shard K's worker applies ACTION\n"
+      "                         (kill-after | hang-after | kill-every) after N "
+      "runs\n"
+      "  --digest-only          print only the outcome digest\n"
+      "  --quiet                suppress supervision notes on stderr\n",
+      out);
+}
+
+std::string read_text_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr)
+    throw std::runtime_error("cannot read '" + path + "'");
+  std::string out;
+  char buf[1 << 14];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+/// Path of this binary, for spawning `stlserve --worker` children.
+std::string self_exe(const char* argv0) {
+#ifndef _WIN32
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+#endif
+  return argv0;
+}
+
+serve::ChaosRule parse_chaos(const std::string& text) {
+  // K:ACTION:N
+  const std::size_t first = text.find(':');
+  const std::size_t last = text.rfind(':');
+  serve::ChaosRule rule;
+  if (first == std::string::npos || last == first)
+    rule.action = "?";
+  else {
+    rule.shard = cli::require_unsigned(kTool, "--chaos shard",
+                                       text.substr(0, first), 0, 63);
+    rule.action = text.substr(first + 1, last - first - 1);
+    rule.after =
+        cli::require_u64(kTool, "--chaos count", text.substr(last + 1), 1, ~0ull);
+  }
+  if (rule.action != "kill-after" && rule.action != "hang-after" &&
+      rule.action != "kill-every") {
+    std::fprintf(stderr,
+                 "%s: --chaos expects K:ACTION:N with ACTION one of "
+                 "kill-after|hang-after|kill-every, got '%s'\n",
+                 kTool, text.c_str());
+    std::exit(cli::kExitUsage);
+  }
+  return rule;
+}
+
+serve::ServeSpec load_spec(const std::string& path) {
+  serve::ServeSpec spec;
+  std::string err;
+  if (!serve::parse_spec(read_text_file(path), spec, &err)) {
+    std::fprintf(stderr, "%s: %s: %s\n", kTool, path.c_str(), err.c_str());
+    std::exit(cli::kExitUsage);
+  }
+  return spec;
+}
+
+int cmd_run(int argc, char** argv, const char* argv0) {
+  std::string spec_path;
+  serve::ServeConfig cfg;
+  bool fork_workers = false;
+  bool digest_only = false;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s requires a value\n", kTool, a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--spec") {
+      spec_path = need();
+    } else if (a == "--dir") {
+      cfg.work_dir = need();
+    } else if (a == "--workers") {
+      cfg.workers = cli::require_unsigned(kTool, "--workers", need(), 1, 64);
+    } else if (a == "--resume") {
+      cfg.resume = true;
+    } else if (a == "--max-respawns") {
+      cfg.max_respawns =
+          cli::require_unsigned(kTool, "--max-respawns", need(), 0, 100);
+    } else if (a == "--backoff-base-ms") {
+      cfg.backoff_base_ms =
+          cli::require_unsigned(kTool, "--backoff-base-ms", need(), 1, 60'000);
+    } else if (a == "--backoff-cap-ms") {
+      cfg.backoff_cap_ms =
+          cli::require_unsigned(kTool, "--backoff-cap-ms", need(), 1, 600'000);
+    } else if (a == "--hang-timeout-ms") {
+      cfg.hang_timeout_ms =
+          cli::require_unsigned(kTool, "--hang-timeout-ms", need(), 50, 600'000);
+    } else if (a == "--shard-timeout-ms") {
+      cfg.shard_timeout_ms =
+          cli::require_u64(kTool, "--shard-timeout-ms", need(), 1, 86'400'000);
+    } else if (a == "--poll-ms") {
+      cfg.poll_ms = cli::require_unsigned(kTool, "--poll-ms", need(), 1, 10'000);
+    } else if (a == "--fork-workers") {
+      fork_workers = true;
+    } else if (a == "--no-fsync") {
+      cfg.no_fsync = true;
+    } else if (a == "--chaos") {
+      cfg.chaos.push_back(parse_chaos(need()));
+    } else if (a == "--digest-only") {
+      digest_only = true;
+    } else if (a == "--quiet") {
+      cfg.quiet = true;
+    } else if (a == "--help" || a == "-h") {
+      usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", kTool, a.c_str());
+      usage(stderr);
+      return cli::kExitUsage;
+    }
+  }
+
+  if (cfg.work_dir.empty()) {
+    std::fprintf(stderr, "%s: run requires --dir\n", kTool);
+    return cli::kExitUsage;
+  }
+  if (spec_path.empty()) {
+    if (!cfg.resume) {
+      std::fprintf(stderr, "%s: run requires --spec (or --resume)\n", kTool);
+      return cli::kExitUsage;
+    }
+    spec_path = cfg.work_dir + "/campaign-spec.json";
+  }
+  const serve::ServeSpec spec = load_spec(spec_path);
+  if (!fork_workers) cfg.worker_exe = self_exe(argv0);
+
+  const serve::ServeResult sr = serve::run_campaign(spec, cfg);
+  std::fprintf(stderr,
+               "%s: %u shard(s): %u respawn(s), %u hung kill(s), %u subdir(s) "
+               "quarantined, %u in-process fallback(s); merge: %llu record(s) "
+               "resumed, %u corrupt shard file(s), %llu run(s) re-executed\n",
+               kTool, sr.stats.shards, sr.stats.respawns, sr.stats.hung_killed,
+               sr.stats.dirs_quarantined, sr.stats.fallbacks,
+               static_cast<unsigned long long>(sr.stats.records_resumed),
+               sr.stats.shards_corrupt,
+               static_cast<unsigned long long>(sr.stats.merge_reexecuted));
+  if (sr.interrupted) {
+    std::fprintf(stderr, "%s: interrupted; resume with: stlserve run --dir %s "
+                 "--resume\n", kTool, cfg.work_dir.c_str());
+    return cli::kExitInterrupted;
+  }
+  if (digest_only)
+    std::printf("outcome digest: %s\n",
+                TextTable::fmt_hex(sr.result.digest()).c_str());
+  else
+    std::fputs(runtime::render_recovery_report(sr.result).c_str(), stdout);
+  return cli::kExitSuccess;
+}
+
+/// Internal re-entrant entry: one shard, spawned and supervised by `run`.
+int cmd_worker(int argc, char** argv) {
+  serve::WorkerArgs wa;
+  std::string spec_path;
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s requires a value\n", kTool, a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--spec") {
+      spec_path = need();
+    } else if (a == "--shard") {
+      wa.shard = cli::require_unsigned(kTool, "--shard", need(), 0, 63);
+    } else if (a == "--begin") {
+      wa.begin = cli::require_u64(kTool, "--begin", need(), 0, ~0ull);
+    } else if (a == "--end") {
+      wa.end = cli::require_u64(kTool, "--end", need(), 1, ~0ull);
+    } else if (a == "--dir") {
+      wa.dir = need();
+    } else if (a == "--heartbeat") {
+      wa.heartbeat = need();
+    } else if (a == "--no-fsync") {
+      wa.no_fsync = true;
+    } else if (a == "--chaos-self") {
+      const std::string v = need();
+      const std::size_t colon = v.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "%s: --chaos-self expects ACTION:N\n", kTool);
+        return cli::kExitUsage;
+      }
+      wa.chaos_action = v.substr(0, colon);
+      wa.chaos_after =
+          cli::require_u64(kTool, "--chaos-self", v.substr(colon + 1), 1, ~0ull);
+    } else {
+      std::fprintf(stderr, "%s: unknown worker option '%s'\n", kTool, a.c_str());
+      return cli::kExitUsage;
+    }
+  }
+  if (spec_path.empty() || wa.dir.empty() || wa.heartbeat.empty() ||
+      wa.end <= wa.begin) {
+    std::fprintf(stderr, "%s: --worker requires --spec, --dir, --heartbeat and "
+                 "a non-empty [--begin, --end)\n", kTool);
+    return cli::kExitUsage;
+  }
+  wa.spec = load_spec(spec_path);
+  return serve::worker_main(wa);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(stderr);
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "run") return cmd_run(argc - 2, argv + 2, argv[0]);
+    if (cmd == "--worker") return cmd_worker(argc - 2, argv + 2);
+    if (cmd == "print-spec") {
+      std::fputs(serve::example_spec_json().c_str(), stdout);
+      return 0;
+    }
+    if (cmd == "--version") {
+      cli::print_version(kTool);
+      return 0;
+    }
+    if (cmd == "--help" || cmd == "-h") {
+      usage(stdout);
+      return 0;
+    }
+  } catch (const fault::CheckpointMismatch& e) {
+    std::fprintf(stderr, "%s: checkpoint rejected: %s\n", kTool, e.what());
+    return cli::kExitUsage;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", kTool, e.what());
+    return cli::kExitFailure;
+  }
+  std::fprintf(stderr, "%s: unknown command '%s'\n", kTool, cmd.c_str());
+  usage(stderr);
+  return 2;
+}
