@@ -1,0 +1,73 @@
+// Rate-based SEU soak campaign at bench scale (docs/runtime.md "SEU soak"):
+// seeded Poisson-style upsets against RAM, the L1 arrays and the pipeline
+// latches of a full 3-core mission schedule, with differential bisection
+// isolating the responsible upset on every diverged run. The knobs that
+// matter for the trajectory:
+//
+//   DETSTL_SOAK_RUNS    independent soak runs (default 24)
+//   DETSTL_SOAK_SEED    campaign master seed (default 0x5EA5BEAC)
+//   --threads N         executor worker threads (byte-identical result)
+//   --checkpoint-dir D [--resume] [--interrupt-after N] [--timeout SEC]
+//                       crash-safe journaling drills, exit-code contract of
+//                       tools/cli_util.h (3 = interrupted but resumable)
+//
+// The campaign result is a deterministic function of (spec, seed) at every
+// thread count, so the sim subtree of the emitted BENCH_soak.json is a valid
+// stlperf regression subject.
+
+#include "bench_util.h"
+#include "runtime/soak.h"
+
+namespace {
+
+using namespace detstl;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_options(argc, argv);
+  bench::PerfSession session(opts, "soak");
+
+  runtime::SoakCampaignSpec spec;
+  spec.runs = bench::env_unsigned("DETSTL_SOAK_RUNS", 24);
+  spec.seed = bench::env_unsigned("DETSTL_SOAK_SEED", 0x5EA5BEAC);
+  spec.threads = opts.threads;
+  if (!opts.checkpoint_dir.empty()) {
+    spec.checkpoint.dir = opts.checkpoint_dir;
+    spec.checkpoint.interval = opts.checkpoint_interval;
+    spec.checkpoint.resume = opts.resume;
+    spec.checkpoint.fsync = opts.no_fsync ? fault::FsyncPolicy::kNone
+                                          : fault::FsyncPolicy::kEveryShard;
+  }
+  if (!opts.checkpoint_dir.empty() || opts.interrupt_after != 0 ||
+      opts.timeout != 0) {
+    spec.interrupt = &fault::global_interrupt();
+    spec.interrupt->clear();
+    if (opts.interrupt_after != 0)
+      spec.interrupt->arm_after(opts.interrupt_after);
+    fault::install_drain_handlers();
+    if (opts.timeout != 0) fault::arm_wallclock_timeout(opts.timeout);
+  }
+
+  session.hash_knob("runs", spec.runs);
+  session.hash_knob("seed", spec.seed);
+  session.hash_knob("rate_ram", spec.soak.rates.ram);
+  session.hash_knob("rate_l1i", spec.soak.rates.l1i);
+  session.hash_knob("rate_l1d", spec.soak.rates.l1d);
+  session.hash_knob("rate_pipeline", spec.soak.rates.pipeline);
+
+  const runtime::SoakCampaignResult res =
+      bench::run_resumable([&] { return runtime::run_soak_campaign(spec); });
+  session.mark_phase("soak-campaign");
+  if (res.ckpt.interrupted) {
+    std::fprintf(stderr, "interrupted but resumable: %llu/%u run(s) journalled\n",
+                 static_cast<unsigned long long>(res.ckpt.records_resumed),
+                 spec.runs);
+    return session.finish(3);
+  }
+
+  std::fputs(runtime::render_soak_report(res).c_str(), stdout);
+  std::printf("wall: %.2fs across %u thread(s)\n", res.wall_seconds,
+              res.threads_used);
+  return session.finish(0);
+}

@@ -3,8 +3,8 @@
 # subsystem (docs/fault_simulation.md "Checkpoint/resume") and the stlserve
 # orchestrator (docs/runtime.md "stlserve").
 #
-# Five legs, each ending in a byte-for-byte diff against an uninterrupted
-# reference run of the same seeded stlrun disturbance campaign:
+# Six legs, each ending in a byte-for-byte diff against an uninterrupted
+# reference run of the same seeded campaign:
 #
 #   1. deterministic kill point (--interrupt-after): the run drains after N
 #      completed runs and exits 3 (resumable); --resume completes it;
@@ -21,7 +21,11 @@
 #   5. supervisor interruption + corruption: SIGTERM the stlserve supervisor
 #      mid-campaign (workers drain cooperatively), bit-flip one worker's
 #      shard file, then `stlserve run --resume` must quarantine the damage,
-#      finish the campaign and still match the reference.
+#      finish the campaign and still match the reference;
+#   6. SEU soak kill/resume: a seeded `stlrun soak` campaign (upset injection
+#      + differential isolation) is drained mid-flight with
+#      --interrupt-after, resumed, and its report diffed against an
+#      uninterrupted soak reference.
 #
 # Usage: scripts/checkpoint_drill.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -168,5 +172,24 @@ if [ -n "$SHARD" ]; then
 fi
 diff "$WORK/reference.txt" "$WORK/serve5.txt"
 echo "   supervisor drained, corruption quarantined; resume is byte-identical"
+
+# The soak campaign journals per-run upset outcomes through the same
+# checkpoint subsystem; the drill proves the isolation verdicts survive a
+# mid-flight drain.
+SOAK_ARGS=(soak --seed 0x5ea5 --runs 24 --threads 2)
+
+echo "== leg 6: SEU soak campaign killed mid-flight, then resumed"
+"$STLRUN" "${SOAK_ARGS[@]}" > "$WORK/soak_reference.txt" 2> /dev/null
+rc=0
+"$STLRUN" "${SOAK_ARGS[@]}" --checkpoint-dir "$WORK/ckpt6" \
+    --checkpoint-interval 4 --interrupt-after 8 > /dev/null 2> /dev/null || rc=$?
+if [ "$rc" -ne 3 ]; then
+  echo "checkpoint-drill: expected resumable soak exit 3, got $rc" >&2
+  exit 1
+fi
+"$STLRUN" "${SOAK_ARGS[@]}" --checkpoint-dir "$WORK/ckpt6" --resume \
+    > "$WORK/soak_resumed.txt" 2> /dev/null
+diff "$WORK/soak_reference.txt" "$WORK/soak_resumed.txt"
+echo "   resumed soak report is byte-identical to the reference"
 
 echo "checkpoint-drill: OK"

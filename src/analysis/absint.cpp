@@ -273,6 +273,16 @@ std::map<u32, MustState> run_pass(Ctx& c, bool cut_back_edge,
 
 }  // namespace
 
+InterferenceBound interference_bound(const mem::MemSystemConfig& geom, unsigned num_cores) {
+  InterferenceBound b;
+  b.line_bytes = std::max(geom.icache.line_bytes, geom.dcache.line_bytes);
+  const u32 beats = std::max(1u, b.line_bytes / 8);  // flash 8-byte beats
+  b.t_max = 1 + mem::kFlashMissCycles + (beats - 1) * mem::kFlashHitCycles;
+  b.requesters = 3 * std::max(1u, num_cores);
+  b.d_max = (b.requesters - 1) * b.t_max + (b.t_max - 1);
+  return b;
+}
+
 AbsIntResult interpret(const isa::Program& prog, const AnalysisConfig& cfg) {
   const ProgramModel model = build_model(prog, cfg);
   return interpret(prog, cfg, model);
@@ -595,13 +605,9 @@ AbsIntResult interpret(const isa::Program& prog, const AnalysisConfig& cfg,
 
   // --- obligation: interference-bound ---------------------------------------
   {
-    InterferenceBound& b = res.bound;
-    b.line_bytes =
-        std::max(cfg.mem.icache.line_bytes, cfg.mem.dcache.line_bytes);
+    res.bound = interference_bound(cfg.mem, cfg.num_cores);
+    const InterferenceBound& b = res.bound;
     const u32 beats = std::max(1u, b.line_bytes / 8);  // flash 8-byte beats
-    b.t_max = 1 + mem::kFlashMissCycles + (beats - 1) * mem::kFlashHitCycles;
-    b.requesters = 3 * std::max(1u, cfg.num_cores);
-    b.d_max = (b.requesters - 1) * b.t_max + (b.t_max - 1);
     std::ostringstream detail;
     detail << "a non-graded core's access waits at most " << b.d_max
            << " bus cycles: (R-1)*t_max + (t_max-1) with R=" << b.requesters

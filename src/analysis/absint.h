@@ -90,6 +90,12 @@ struct InterferenceBound {
   u32 line_bytes = 0;  // widest refill among the two L1s
 };
 
+/// Closed-form per-access bound for a given memory geometry and core count —
+/// the same numbers `interpret()` reports as `ai-interference-bound`.
+/// Exposed standalone so the mission-mode runtime (runtime/mission.h) checks
+/// its measured per-access bus waits against the stlint prediction.
+InterferenceBound interference_bound(const mem::MemSystemConfig& geom, unsigned num_cores);
+
 /// One per-cache may-footprint: cache set index -> line base addresses that
 /// may occupy it, with a sample PC per line for diagnostics.
 struct SetFootprint {

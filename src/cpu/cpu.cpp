@@ -79,6 +79,19 @@ bool Cpu::pipeline_empty() const {
          !memwb_[0].valid && !memwb_[1].valid && div_busy_ == 0;
 }
 
+bool Cpu::inject_pipeline_upset(u64 pick) {
+  SlotInstr* latches[] = {&ex_[0], &ex_[1], &exmem_[0], &exmem_[1], &memwb_[0], &memwb_[1]};
+  SlotInstr* valid[6];
+  unsigned n = 0;
+  for (SlotInstr* s : latches)
+    if (s->valid) valid[n++] = s;
+  if (n == 0) return false;
+  SlotInstr& s = *valid[pick % n];
+  const unsigned bit = (pick >> 8) % (s.is64 ? 64 : 32);
+  s.result ^= u64{1} << bit;
+  return true;
+}
+
 // -----------------------------------------------------------------------------
 // WB
 // -----------------------------------------------------------------------------

@@ -98,6 +98,14 @@ class Cpu {
   /// events; ignored architecturally while mstatus.IE is clear.
   void inject_icu_event(u8 sources) { icu_events_ |= sources; }
 
+  /// SEU flip point for the rate-based soak model (runtime/soak.h): flip one
+  /// bit of one currently-valid pipeline latch, chosen deterministically from
+  /// `pick`. Candidates are the EX/MEM/WB result latches; a flip in a latch
+  /// whose packet does not write a register is architecturally masked but
+  /// still counts as applied (it landed in real state). Returns false when no
+  /// latch is valid this cycle (the upset missed the pipeline).
+  bool inject_pipeline_upset(u64 pick);
+
  private:
   struct SlotInstr {
     bool valid = false;

@@ -61,6 +61,7 @@ inline constexpr u32 kCheckpointSchemaVersion = 1;
 enum class PayloadKind : u32 {
   kFaultOutcomes = 1,     // record payload: one FaultOutcome byte
   kDisturbanceRuns = 2,   // record payload: serialised runtime::RunRecord
+  kSoakRuns = 3,          // record payload: serialised runtime::SoakRunRecord
 };
 
 /// Why a shard was quarantined (kCkptReject event `a` field).

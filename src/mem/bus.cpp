@@ -127,6 +127,7 @@ void SharedBus::tick(Flash& flash, Sram& sram) {
     const u64 wait = now_ - slot.submit_cycle;
     ++stats_[id].grants;
     stats_[id].wait_cycles += wait;
+    if (wait > stats_[id].max_wait_cycles) stats_[id].max_wait_cycles = wait;
     stats_[id].occupancy_cycles += 1 + device_cycles;
     DETSTL_TRACE(sink_, trace::Event{.cycle = now_,
                                      .kind = trace::EventKind::kBusGrant,

@@ -41,6 +41,11 @@ struct BusStats {
   u64 grants = 0;
   u64 wait_cycles = 0;
   u64 occupancy_cycles = 0;
+  /// Worst single submit->grant latency observed since construction or the
+  /// last reset_wait_marks(). This is the measured per-access interference
+  /// the mission-mode report checks against the stlint-predicted d_max
+  /// (analysis::interference_bound).
+  u64 max_wait_cycles = 0;
 };
 
 /// One requester slot: submit -> (arbitration, device access) -> complete ->
@@ -71,6 +76,13 @@ class SharedBus {
   u64 now() const { return now_; }
 
   const BusStats& stats(unsigned id) const { return stats_[id]; }
+
+  /// Zero every requester's max_wait_cycles high-water mark so a caller can
+  /// measure the worst per-access wait of a bounded window (one mission
+  /// slice) without disturbing the cumulative counters.
+  void reset_wait_marks() {
+    for (BusStats& s : stats_) s.max_wait_cycles = 0;
+  }
 
   // --- disturbance / supervisor hooks -----------------------------------------
   /// Freeze arbitration and the in-flight device access for `cycles` ticks

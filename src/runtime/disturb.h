@@ -94,13 +94,23 @@ struct InjectionStats {
   }
 };
 
+/// Per-tick perturbation source the supervisor polls after every Soc::tick().
+/// DisturbanceInjector replays event-count plans; the rate-based SEU soak
+/// model (runtime/soak.h) extends the same contract with Poisson-style
+/// arrival plans. Both are deterministic functions of (plan, tick).
+class InjectorHook {
+ public:
+  virtual ~InjectorHook() = default;
+  virtual void poll(soc::Soc& soc, const InjectTargets& targets) = 0;
+};
+
 /// Replays a DisturbancePlan against a running SoC. Call poll() once per
 /// SoC tick (after Soc::tick()); all items due at soc.now() are applied.
-class DisturbanceInjector {
+class DisturbanceInjector : public InjectorHook {
  public:
   explicit DisturbanceInjector(DisturbancePlan plan);
 
-  void poll(soc::Soc& soc, const InjectTargets& targets);
+  void poll(soc::Soc& soc, const InjectTargets& targets) override;
 
   const InjectionStats& stats() const { return stats_; }
   /// All one-shot items consumed and no recurring item still live.

@@ -1,0 +1,99 @@
+#pragma once
+// Mission-mode STL scheduling: interleave the cached self-test routines with
+// representative mission workloads on the non-tested cores and check, on real
+// simulated traffic, the two properties the paper's in-field argument rests
+// on:
+//
+//   1. Determinism under sharing — the STL signature stays byte-identical to
+//      the isolated golden value no matter what the other cores execute,
+//      because the wrapped routine's execution context is private (locked L1
+//      contents + private scratch) and only its *timing* is exposed to the
+//      bus.
+//   2. Bounded interference — every per-access bus wait observed during a
+//      slice (STL ports and mission ports alike) stays within the closed-form
+//      d_max bound that stlint derives statically (analysis/absint.h), i.e.
+//      the measured worst case never exceeds the predicted worst case.
+//
+// A mission run is a sequence of slices. Slice s tests core (s mod cores)
+// with routine (s mod #routines) while every other core runs a seeded mission
+// kernel — a memory-streaming loop, a pointer-chase over a seeded permutation
+// ring, or a cache-resident compute loop — then all cores run mission code
+// for a gap before the next slice. Kernels are read-only flash loops (no SRAM
+// stores), so a mailbox or scratch collision is impossible by construction
+// and any signature divergence is a real isolation failure.
+
+#include <string>
+#include <vector>
+
+#include "analysis/absint.h"
+#include "runtime/supervisor.h"
+
+namespace detstl::runtime {
+
+enum class MissionWorkloadKind : u8 {
+  kMemStream = 0,     // line-stride lw sweep over a 64 KiB flash window
+  kPointerChase = 1,  // lw chase over a seeded 8192-word permutation ring
+  kCompute = 2,       // cache-resident ALU mix (no bus traffic after warm-up)
+};
+
+inline constexpr unsigned kNumMissionWorkloads = 3;
+
+const char* mission_workload_name(MissionWorkloadKind k);
+
+struct MissionSpec {
+  u64 seed = 0xA1551000;
+  unsigned slices = 12;
+  u64 gap_cycles = 2'000;  // mission-only gap between consecutive slices
+  unsigned cores = 3;
+  /// Registry routine names (core/stl.h); empty = the default mix.
+  std::vector<std::string> routines;
+  /// margin_percent / watchdog_floor feed the per-slice watchdog (the
+  /// calibration is single-core isolated; the margin absorbs mission
+  /// interference). The other fields are unused — mission mode has no
+  /// retry ladder, a failed slice is reported as-is.
+  SupervisorConfig supervisor{};
+  trace::EventSink* sink = nullptr;  // non-owning; null = tracing off
+};
+
+struct MissionSliceRecord {
+  u32 slice = 0;
+  u8 tested_core = 0;
+  std::string routine;
+  /// MissionWorkloadKind per mission core; 0xff on the tested core.
+  std::array<u8, soc::kMaxCores> workload = {0xff, 0xff, 0xff};
+  u8 sig_ok = 0;    // signature byte-identical to the isolated golden value
+  u8 timed_out = 0; // watchdog expired before the routine halted
+  u8 bound_ok = 0;  // every measured per-access wait <= d_max
+  u32 signature = 0;
+  u64 slice_cycles = 0;
+  u32 stl_max_wait = 0;      // worst submit->grant wait on the tested core's ports
+  u32 mission_max_wait = 0;  // worst submit->grant wait on any mission port
+  u64 mission_grants = 0;    // bus grants won by mission ports during the slice
+};
+
+struct MissionResult {
+  unsigned slices = 0;
+  unsigned cores = 0;
+  u64 seed = 0;
+  std::vector<std::string> routine_names;
+  analysis::InterferenceBound bound;  // the stlint prediction being checked
+  std::vector<MissionSliceRecord> records;
+  u64 total_cycles = 0;
+
+  unsigned divergences() const;   // slices with sig_ok == 0
+  unsigned bound_violations() const;
+  u32 worst_wait() const;         // max over all slices, both port classes
+
+  /// Canonical byte serialisation (no wall-clock) — the determinism unit.
+  std::vector<u8> outcome_vector() const;
+  /// FNV-1a 64 of outcome_vector().
+  u64 digest() const;
+};
+
+MissionResult run_mission(const MissionSpec& spec);
+
+/// Deterministic report: per-slice table plus measured-vs-predicted
+/// interference margins.
+std::string render_mission_report(const MissionResult& r);
+
+}  // namespace detstl::runtime

@@ -1,0 +1,203 @@
+#pragma once
+// Rate-based SEU soak model + differential fault isolation.
+//
+// Where the DisturbanceInjector replays a fixed *count* of perturbations,
+// the soak model draws Poisson-style upset arrivals at configurable
+// per-site rates over a long observation window — the in-field radiation
+// regime (SNIPPETS.md snippet 1: memory vs. cache vs. pipeline isolation on
+// a commodity SoC). Everything is a deterministic function of (spec, seed):
+// the plan is compact (site, core, cycle, pick) and replayable, so a soak
+// campaign rides the same sharded + checkpointed executor as the
+// disturbance campaign and stays byte-identical at any thread count.
+//
+// Differential isolation: when a supervised run under the full upset plan
+// diverges from a clean pass (any routine slot not kPassClean, a
+// quarantined core, or an exhausted budget), the run is repeated with the
+// plan bisected by prefix length until the minimal failing prefix is found;
+// its last upset is the responsible one, reported with its resolved landing
+// site (address + bit) from the injector's applied log.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/campaign.h"
+#include "runtime/disturb.h"
+#include "runtime/supervisor.h"
+
+namespace detstl::runtime {
+
+/// Where an upset lands. RAM flips hit the SRAM array underneath any cached
+/// copies; L1 flips hit a resident line of the targeted core's private
+/// cache; pipeline flips hit a valid EX/MEM/WB result latch.
+enum class SoakSite : u8 {
+  kRam = 0,
+  kL1I = 1,
+  kL1D = 2,
+  kPipeline = 3,
+};
+
+inline constexpr unsigned kNumSoakSites = 4;
+
+const char* soak_site_name(SoakSite s);
+
+/// Expected upsets per million cycles, per site (flux knobs).
+struct SoakRates {
+  u32 ram = 60;
+  u32 l1i = 30;
+  u32 l1d = 30;
+  u32 pipeline = 15;
+};
+
+struct SoakSpec {
+  /// Arrival horizon in SoC cycles; 0 = derived from the schedule
+  /// calibration (twice the slowest core's fault-free time + slack), so
+  /// upsets land across the whole run including retries.
+  u64 duration = 0;
+  SoakRates rates;
+};
+
+/// One planned upset. `pick` is raw seed material resolved against the
+/// simulation state at application time (which SRAM word / resident line /
+/// pipeline latch, which bit).
+struct SoakUpset {
+  SoakSite site = SoakSite::kRam;
+  u8 core = 0;
+  u64 cycle = 0;
+  u64 pick = 0;
+};
+
+struct SoakPlan {
+  std::vector<SoakUpset> upsets;  // sorted by cycle
+};
+
+/// Derive a plan from (spec, seed): per-site Bernoulli-per-cycle arrival
+/// scan (the discrete Poisson process), merged and sorted by cycle. Same
+/// inputs, same plan, bit for bit, on any host.
+SoakPlan make_soak_plan(const SoakSpec& spec, u64 seed, unsigned num_cores);
+
+struct SoakStats {
+  std::array<u64, kNumSoakSites> applied{};
+  std::array<u64, kNumSoakSites> skipped{};  // dead core / empty cache / idle pipeline
+  u64 total_applied() const {
+    u64 n = 0;
+    for (u64 v : applied) n += v;
+    return n;
+  }
+};
+
+/// An upset that actually landed, with its resolved target (the isolation
+/// report names this).
+struct AppliedUpset {
+  u32 index = 0;  // position in the plan
+  SoakSite site = SoakSite::kRam;
+  u8 core = 0;
+  u64 cycle = 0;
+  u32 addr = 0;  // resolved SRAM word / cache line base; 0 for pipeline
+  u32 bit = 0;
+};
+
+/// Replays the first `limit` upsets of a SoakPlan against a running SoC
+/// (limit past the end = the whole plan — prefix truncation is the
+/// differential-isolation probe). Poll once per SoC tick, same contract as
+/// DisturbanceInjector. The plan is borrowed; the caller keeps it alive.
+class SoakInjector : public InjectorHook {
+ public:
+  explicit SoakInjector(const SoakPlan& plan, std::size_t limit = SIZE_MAX);
+
+  void poll(soc::Soc& soc, const InjectTargets& targets) override;
+
+  const SoakStats& stats() const { return stats_; }
+  const std::vector<AppliedUpset>& applied_log() const { return applied_; }
+
+ private:
+  void apply(const SoakUpset& u, u32 index, soc::Soc& soc, const InjectTargets& targets);
+
+  const SoakPlan* plan_;
+  std::size_t limit_;
+  std::size_t next_ = 0;
+  SoakStats stats_;
+  std::vector<AppliedUpset> applied_;
+};
+
+/// Differential-isolation verdict for one soak run.
+struct IsolationResult {
+  u8 diverged = 0;  // run differed from a clean pass
+  u8 isolated = 0;  // bisection converged on a single culprit
+  u32 upset_index = 0;
+  SoakSite site = SoakSite::kRam;
+  u8 core = 0;
+  u64 cycle = 0;  // planned arrival tick of the culprit
+  u32 addr = 0;   // resolved landing address (0 when masked/pipeline)
+  u32 bit = 0;
+  u32 reruns = 0;  // bisection re-simulations spent
+};
+
+struct SoakRunRecord {
+  u64 seed = 0;
+  SupervisorResult result;
+  SoakStats stats;
+  IsolationResult isolation;
+};
+
+/// True when `r` differs from a clean undisturbed pass: any routine slot
+/// not kPassClean, a quarantined core, or an exhausted budget.
+bool soak_run_diverged(const SupervisorResult& r);
+
+struct SoakCampaignSpec {
+  u64 seed = 0x5EA50001;
+  unsigned runs = 8;
+  unsigned threads = 0;  // 0 = one per hardware thread, 1 = serial
+  unsigned cores = 3;
+  /// Registry routine names (core/stl.h); empty = the default mix.
+  std::vector<std::string> routines;
+  SupervisorConfig supervisor{};
+  SoakSpec soak{};
+  /// Run differential bisection on every diverged run (log2(n) extra
+  /// supervised runs per divergence). Part of the config hash.
+  bool isolate = true;
+  // --- executor plumbing, all excluded from the config hash ----------------
+  fault::CheckpointConfig checkpoint;
+  fault::InterruptToken* interrupt = nullptr;
+  trace::EventSink* sink = nullptr;
+  u64 unit_begin = 0;  // half-open shard range of run indices; (0,0) = all
+  u64 unit_end = 0;
+  std::vector<std::string> merge_dirs;
+  std::function<void(u64)> on_run_complete;
+};
+
+struct SoakCampaignResult {
+  unsigned runs = 0;
+  unsigned cores = 0;
+  unsigned threads_used = 0;
+  u64 seed = 0;
+  std::vector<std::string> routine_names;
+  std::vector<SoakRunRecord> records;  // indexed by run
+  double wall_seconds = 0.0;           // excluded from the determinism contract
+  fault::CheckpointStats ckpt;         // excluded from the determinism contract
+
+  /// Concatenated canonical run results (byte-identical across thread counts).
+  std::vector<u8> outcome_vector() const;
+  /// FNV-1a 64 of outcome_vector().
+  u64 digest() const;
+};
+
+/// Loss-less shard payload of a soak-campaign checkpoint (framed
+/// serialize_run_record + soak stats + isolation verdict).
+std::vector<u8> serialize_soak_record(const SoakRunRecord& rec);
+bool deserialize_soak_record(const std::vector<u8>& bytes, SoakRunRecord& out);
+
+/// Manifest identity of a soak checkpoint: seed, runs, cores, resolved
+/// schedule, supervisor config, soak spec, isolate flag and the SoC image
+/// fingerprint. EXCLUDES threads, shard range, checkpoint and interrupt —
+/// the partitioned-campaign property stlserve relies on.
+u64 soak_checkpoint_config_hash(const SoakCampaignSpec& spec, const SchedulePlan& plan);
+
+SoakCampaignResult run_soak_campaign(const SoakCampaignSpec& spec);
+
+/// Deterministic report (no wall-clock, no thread count): per-site upset
+/// totals, per-run divergence/isolation table, outcome digest.
+std::string render_soak_report(const SoakCampaignResult& r);
+
+}  // namespace detstl::runtime

@@ -266,7 +266,7 @@ void StlSupervisor::finish_attempt(unsigned c, AttemptStatus status, u32 signatu
   quarantine(c);
 }
 
-SupervisorResult StlSupervisor::run(DisturbanceInjector* injector) {
+SupervisorResult StlSupervisor::run(DisturbanceInjector* injector, InjectorHook* hook) {
   soc_.reset();
   result_ = SupervisorResult{};
   targets_ = InjectTargets{};
@@ -304,6 +304,7 @@ SupervisorResult StlSupervisor::run(DisturbanceInjector* injector) {
 
     soc_.tick();
     if (injector != nullptr) injector->poll(soc_, targets_);
+    if (hook != nullptr) hook->poll(soc_, targets_);
 
     for (unsigned c = 0; c < soc_.num_cores(); ++c) {
       CoreCtx& x = ctx_[c];

@@ -131,8 +131,11 @@ class StlSupervisor {
   StlSupervisor(soc::Soc soc, Schedule schedule, const SupervisorConfig& cfg = {});
 
   /// Run the whole schedule to completion (or budget exhaustion). The
-  /// injector may be null for an undisturbed run.
-  SupervisorResult run(DisturbanceInjector* injector = nullptr);
+  /// injector may be null for an undisturbed run. `hook` is an additional
+  /// generic per-tick perturbation source polled after the injector — the
+  /// rate-based SEU soak model (runtime/soak.h) attaches here without
+  /// entering the disturbance statistics.
+  SupervisorResult run(DisturbanceInjector* injector = nullptr, InjectorHook* hook = nullptr);
 
  private:
   enum class CoreState : u8 { kIdle, kRunning, kBackoff, kDone, kQuarantined };

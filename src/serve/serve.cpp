@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <stdexcept>
 #include <system_error>
 #include <thread>
@@ -17,7 +18,10 @@
 #include <unistd.h>
 #endif
 
+#include "core/routines.h"
+#include "exp/experiments.h"
 #include "fault/checkpoint.h"
+#include "netlist/modules.h"
 
 namespace fs = std::filesystem;
 
@@ -47,14 +51,109 @@ void touch(const std::string& path) {
   std::fclose(f);
 }
 
-void append_byte(const std::string& path) {
+/// One heartbeat record = one completed unit, 8 bytes little-endian
+/// carrying the unit's index. Size/8 is the beat count the watchdogs and
+/// the pace estimator use; the last record names the current run.
+constexpr std::uintmax_t kHeartbeatRecordBytes = 8;
+
+void append_run_index(const std::string& path, u64 unit) {
   std::FILE* f = std::fopen(path.c_str(), "ab");
   if (f == nullptr) return;  // heartbeat loss degrades to the wall-clock budget
-  std::fputc('.', f);
+  u8 rec[kHeartbeatRecordBytes];
+  for (unsigned i = 0; i < sizeof rec; ++i)
+    rec[i] = static_cast<u8>(unit >> (8 * i));
+  std::fwrite(rec, 1, sizeof rec, f);
   std::fclose(f);
 }
 
+/// Unit index of the last fully-written heartbeat record; false when the
+/// file is missing or holds no complete record yet. A trailing partial
+/// record (worker killed mid-write) is simply ignored.
+bool last_run_index(const std::string& path, u64& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  bool ok = false;
+  if (std::fseek(f, 0, SEEK_END) == 0) {
+    const long sz = std::ftell(f);
+    const long rec = static_cast<long>(kHeartbeatRecordBytes);
+    const long whole = sz > 0 ? sz - sz % rec : 0;
+    u8 buf[kHeartbeatRecordBytes];
+    if (whole >= rec && std::fseek(f, whole - rec, SEEK_SET) == 0 &&
+        std::fread(buf, 1, sizeof buf, f) == sizeof buf) {
+      out = 0;
+      for (unsigned i = 0; i < sizeof buf; ++i)
+        out |= static_cast<u64>(buf[i]) << (8 * i);
+      ok = true;
+    }
+  }
+  std::fclose(f);
+  return ok;
+}
+
+// ---------------------------------------------------------------------------
+// Fault-kind plumbing: the shard recipe unit-tested by tests/test_serve.cpp
+// (ServeFaultShards) — single-core plain-wrapper scenario over one graded
+// module, shard ranges over the sampled fault list, post-hoc merge.
+// ---------------------------------------------------------------------------
+
+fault::Module module_of(const ServeSpec& spec) {
+  if (spec.module == "hdcu") return fault::Module::kHdcu;
+  if (spec.module == "icu") return fault::Module::kIcu;
+  return fault::Module::kFwd;
+}
+
+std::unique_ptr<core::SelfTestRoutine> routine_for(fault::Module m) {
+  switch (m) {
+    case fault::Module::kIcu: return core::make_icu_test();
+    // The hazard unit is graded under the forwarding routine's
+    // perf-counter variant, whose stalls exercise it (tests/test_fault.cpp).
+    case fault::Module::kHdcu: return core::make_fwd_test(true);
+    case fault::Module::kFwd: break;
+  }
+  return core::make_fwd_test(false);
+}
+
+/// Outcome-relevant fault-campaign fields shared by every shard worker and
+/// the final merge; unit range, checkpoint dir and hooks are per-caller.
+fault::CampaignConfig fault_config(const ServeSpec& spec) {
+  fault::CampaignConfig cc;
+  cc.module = module_of(spec);
+  cc.core_id = 0;
+  cc.kind = isa::CoreKind::kA;
+  cc.fault_stride = std::max(1u, spec.stride);
+  return cc;
+}
+
+fault::SocFactory fault_factory(const ServeSpec& spec) {
+  const auto routine = routine_for(module_of(spec));
+  exp::Scenario sc{1, {0, 0, 0}, 0, 0, "serve"};
+  auto tests = exp::build_scenario_tests(*routine, core::WrapperKind::kPlain,
+                                         sc, 0, /*use_perf_counters=*/false);
+  return exp::scenario_factory(std::move(tests), sc, 0);
+}
+
 }  // namespace
+
+u64 spec_unit_count(const ServeSpec& spec) {
+  if (spec.kind != "fault") return spec.runs;
+  const auto count = [&spec](const netlist::Netlist& nl) {
+    // The campaign's sampling rule (fault/campaign.cpp): stride over NETS,
+    // keep both stuck-at polarities of each sampled net.
+    const u64 total = nl.fault_list().size();
+    u64 n = 0;
+    for (u64 i = 0; i < total; ++i)
+      if ((i / 2) % std::max(1u, spec.stride) == 0) ++n;
+    return n;
+  };
+  switch (module_of(spec)) {
+    case fault::Module::kHdcu:
+      return count(netlist::HdcuNetlist(isa::CoreKind::kA).nl());
+    case fault::Module::kIcu:
+      return count(netlist::IcuNetlist(isa::CoreKind::kA).nl());
+    case fault::Module::kFwd: break;
+  }
+  return count(netlist::FwdNetlist(isa::CoreKind::kA).nl());
+}
 
 std::vector<ShardPlan> plan_shards(u64 runs, unsigned workers,
                                    const std::string& work_dir) {
@@ -89,6 +188,55 @@ int worker_main(const WorkerArgs& a) {
   try {
     fs::create_directories(a.dir);
     touch(a.heartbeat);
+    fault::install_drain_handlers();
+
+    // Heartbeat + chaos, shared by both kinds: one run-index record per
+    // completed unit, then the chaos self-destruct when its count is due.
+    std::atomic<u64> completed{0};
+    const auto beat = [&a, &completed](u64 unit) {
+      append_run_index(a.heartbeat, unit);
+      const u64 c = completed.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (a.chaos_action.empty() || c != a.chaos_after) return;
+      if (a.chaos_action == "kill-after" || a.chaos_action == "kill-every") {
+#ifndef _WIN32
+        ::kill(::getpid(), SIGKILL);  // a real crash: no drain, no final flush
+#endif
+      } else if (a.chaos_action == "hang-after") {
+        for (;;) std::this_thread::sleep_for(std::chrono::seconds(10));
+      }
+    };
+
+    if (a.spec.kind == "fault") {
+      fault::CampaignConfig cc = fault_config(a.spec);
+      cc.threads = 1;  // process-level parallelism only
+      cc.unit_begin = a.begin;
+      cc.unit_end = a.end;
+      cc.checkpoint.dir = a.dir;
+      cc.checkpoint.interval = a.spec.checkpoint_interval;
+      cc.checkpoint.fsync = a.no_fsync ? fault::FsyncPolicy::kNone
+                                       : fault::FsyncPolicy::kEveryShard;
+      cc.checkpoint.resume = fault::checkpoint_present(cc.checkpoint);
+      cc.interrupt = &fault::global_interrupt();
+      // The fault campaign reports progress in phase units (lane groups,
+      // then faults) rather than per-run callbacks; beat once per completed
+      // unit with the shard-relative ordinal so the supervisor's liveness,
+      // pace and "current run" views work unchanged.
+      cc.progress_every = 1;
+      u64 phase_done = 0;
+      auto last_phase = fault::CampaignPhase::kGoodRun;
+      cc.progress = [&](const fault::CampaignProgress& p) {
+        if (p.phase != last_phase) {
+          last_phase = p.phase;
+          phase_done = 0;
+        }
+        if (p.phase == fault::CampaignPhase::kGoodRun) return;  // cycle units
+        for (; phase_done < p.done; ++phase_done)
+          beat(a.begin + phase_done);
+      };
+      fault::Campaign campaign(cc, fault_factory(a.spec));
+      const fault::CampaignResult r = campaign.run();
+      return r.ckpt.interrupted ? 3 : 0;
+    }
 
     runtime::CampaignSpec cs = to_campaign_spec(a.spec);
     cs.threads = 1;  // process-level parallelism only; keeps workers preemptible
@@ -100,21 +248,7 @@ int worker_main(const WorkerArgs& a) {
         a.no_fsync ? fault::FsyncPolicy::kNone : fault::FsyncPolicy::kEveryShard;
     cs.checkpoint.resume = fault::checkpoint_present(cs.checkpoint);
     cs.interrupt = &fault::global_interrupt();
-    fault::install_drain_handlers();
-
-    std::atomic<u64> completed{0};
-    cs.on_run_complete = [&a, &completed](u64) {
-      append_byte(a.heartbeat);
-      const u64 c = completed.fetch_add(1, std::memory_order_relaxed) + 1;
-      if (a.chaos_action.empty() || c != a.chaos_after) return;
-      if (a.chaos_action == "kill-after" || a.chaos_action == "kill-every") {
-#ifndef _WIN32
-        ::kill(::getpid(), SIGKILL);  // a real crash: no drain, no final flush
-#endif
-      } else if (a.chaos_action == "hang-after") {
-        for (;;) std::this_thread::sleep_for(std::chrono::seconds(10));
-      }
-    };
+    cs.on_run_complete = [&beat](u64 run) { beat(run); };
 
     const runtime::CampaignResult r = runtime::run_disturbance_campaign(cs);
     return r.ckpt.interrupted ? 3 : 0;
@@ -148,8 +282,12 @@ struct Shard {
   Clock::time_point next_spawn;  // backoff deadline (kPending)
   std::uintmax_t hb_size = 0;
   Clock::time_point hb_change;
+  Clock::time_point last_progress_note;  // throttles the per-shard note
   bool chaos_spent = false;  // one-shot chaos rules already delivered
 };
+
+/// Minimum spacing of a shard's "at run N" progress notes.
+constexpr u64 kProgressNoteMs = 2'000;
 
 struct Supervisor {
   Supervisor(const ServeSpec& s, const ServeConfig& c) : spec(s), cfg(c) {}
@@ -250,7 +388,7 @@ struct Supervisor {
     s.pid = pid;
     s.state = ShardState::kRunning;
     ++s.spawns;
-    s.spawn_time = s.hb_change = Clock::now();
+    s.spawn_time = s.hb_change = s.last_progress_note = Clock::now();
     s.hb_size = file_size_or_zero(s.plan.heartbeat);
     note("shard %u [%llu, %llu) -> pid %ld (spawn %u)", shard_idx,
          static_cast<unsigned long long>(s.plan.begin),
@@ -311,12 +449,13 @@ struct Supervisor {
   }
 
   /// Campaign-wide pace from heartbeat growth since this supervisor
-  /// started; 0 until enough beats arrived to be meaningful.
+  /// started; 0 until enough beats arrived to be meaningful. One beat is
+  /// one 8-byte run-index record.
   double observed_per_run_ms(Clock::time_point now) const {
     u64 beats = 0;
     for (unsigned k = 0; k < shards.size(); ++k) {
       const std::uintmax_t sz = shards[k].hb_size;
-      beats += sz > hb_base[k] ? sz - hb_base[k] : 0;
+      beats += sz > hb_base[k] ? (sz - hb_base[k]) / kHeartbeatRecordBytes : 0;
     }
     if (beats < 8) return 0.0;
     return static_cast<double>(ms_between(t0, now)) / static_cast<double>(beats);
@@ -329,17 +468,31 @@ struct Supervisor {
       Shard& s = shards[k];
       if (s.state != ShardState::kRunning) continue;
       const std::uintmax_t sz = file_size_or_zero(s.plan.heartbeat);
+      const u64 total = s.plan.end - s.plan.begin;
       if (sz != s.hb_size) {
         s.hb_size = sz;
         s.hb_change = now;
+        // Surface where the shard is. Throttled: run-per-second shards
+        // must not turn the supervision log into a heartbeat mirror.
+        u64 at = 0;
+        if (!cfg.quiet &&
+            ms_between(s.last_progress_note, now) >= kProgressNoteMs &&
+            last_run_index(s.plan.heartbeat, at)) {
+          s.last_progress_note = now;
+          note("shard %u: at run %llu (%llu/%llu beats)", k,
+               static_cast<unsigned long long>(at),
+               static_cast<unsigned long long>(
+                   std::min<u64>(sz / kHeartbeatRecordBytes, total)),
+               static_cast<unsigned long long>(total));
+        }
       }
       const u64 stale_ms = ms_between(std::max(s.spawn_time, s.hb_change), now);
       bool hung = stale_ms > cfg.hang_timeout_ms;
       if (!hung) {
         u64 budget = cfg.shard_timeout_ms;
         if (budget == 0 && pace > 0.0) {
-          const u64 total = s.plan.end - s.plan.begin;
-          const u64 done_runs = std::min<u64>(s.hb_size, total);
+          const u64 done_runs =
+              std::min<u64>(s.hb_size / kHeartbeatRecordBytes, total);
           budget = shard_budget_ms(pace, total - done_runs, cfg.hang_timeout_ms);
         }
         hung = budget != 0 && ms_between(s.spawn_time, now) > budget;
@@ -351,8 +504,13 @@ struct Supervisor {
       int st = 0;
       ::waitpid(s.pid, &st, 0);
       ++stats.hung_killed;
-      note("shard %u: hung (no heartbeat for %llu ms) — killed pid %ld", k,
-           static_cast<unsigned long long>(stale_ms), static_cast<long>(s.pid));
+      u64 last = 0;
+      const bool have_last = last_run_index(s.plan.heartbeat, last);
+      note("shard %u: hung (no heartbeat for %llu ms, last run %s) — killed "
+           "pid %ld",
+           k, static_cast<unsigned long long>(stale_ms),
+           have_last ? std::to_string(last).c_str() : "none",
+           static_cast<long>(s.pid));
       conclude(k, -SIGKILL);
     }
   }
@@ -427,8 +585,9 @@ ServeResult run_campaign(const ServeSpec& spec, const ServeConfig& cfg) {
 
   Supervisor sup{spec, cfg};
   sup.spec_path = spec_path;
-  for (ShardPlan& p : plan_shards(spec.runs, cfg.workers != 0 ? cfg.workers
-                                                              : spec.workers,
+  const u64 total_units = spec_unit_count(spec);
+  for (ShardPlan& p : plan_shards(total_units, cfg.workers != 0 ? cfg.workers
+                                                                : spec.workers,
                                   cfg.work_dir)) {
     Shard sh;
     sh.plan = std::move(p);
@@ -467,9 +626,33 @@ ServeResult run_campaign(const ServeSpec& spec, const ServeConfig& cfg) {
     s.state = ShardState::kDone;
   }
 
-  // Post-hoc merge: load every shard journal; any run no journal covers is
-  // re-executed right here (runtime::CampaignSpec::merge_dirs contract), so
-  // the result is byte-identical to the single-process campaign.
+  // Post-hoc merge: load every shard journal; any unit no journal covers is
+  // re-executed right here (the merge_dirs contract), so the result is
+  // byte-identical to the single-process campaign.
+  if (spec.kind == "fault") {
+    fault::CampaignConfig mc = fault_config(spec);
+    for (const Shard& s : sup.shards) mc.merge_dirs.push_back(s.plan.dir);
+    mc.interrupt = &fault::global_interrupt();
+    fault::Campaign merge(mc, fault_factory(spec));
+    out.fault_result = merge.run();
+    if (out.fault_result.ckpt.interrupted) {
+      out.stats = sup.stats;
+      out.interrupted = true;
+      return out;
+    }
+    sup.stats.records_resumed = out.fault_result.ckpt.records_resumed;
+    sup.stats.shards_corrupt = out.fault_result.ckpt.shards_corrupt;
+    sup.stats.merge_reexecuted =
+        total_units >= out.fault_result.ckpt.records_resumed
+            ? total_units - out.fault_result.ckpt.records_resumed
+            : 0;
+    if (sup.stats.merge_reexecuted != 0)
+      sup.note("merge: %llu fault(s) had no journal record — re-simulated",
+               static_cast<unsigned long long>(sup.stats.merge_reexecuted));
+    out.stats = sup.stats;
+    return out;
+  }
+
   runtime::CampaignSpec ms = to_campaign_spec(spec);
   for (const Shard& s : sup.shards) ms.merge_dirs.push_back(s.plan.dir);
   ms.interrupt = &fault::global_interrupt();

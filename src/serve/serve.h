@@ -1,9 +1,10 @@
 #pragma once
 // stlserve orchestration layer (docs/runtime.md "stlserve"): supervised
-// multi-process execution of a disturbance campaign.
+// multi-process execution of a disturbance or fault-grading campaign.
 //
-// The unit space [0, runs) is partitioned into one contiguous shard per
-// worker. Each shard runs in its own PROCESS — a re-entrant `stlserve
+// The unit space — run indices [0, runs) for kind "disturbance", the
+// sampled fault list for kind "fault" — is partitioned into one contiguous
+// shard per worker. Each shard runs in its own PROCESS — a re-entrant `stlserve
 // --worker` invocation (or a plain fork in test mode) — journaling into its
 // own per-shard checkpoint subdir (`<work_dir>/shard-NN/`) with the PR 5
 // checksummed-shard format. The shard range is deliberately excluded from
@@ -41,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/campaign.h"
 #include "serve/spec.h"
 
 namespace detstl::serve {
@@ -107,7 +109,12 @@ struct WorkerArgs {
   u64 begin = 0;
   u64 end = 0;
   std::string dir;        // this shard's checkpoint subdir
-  std::string heartbeat;  // touched at startup, +1 byte per completed run
+  /// Touched at startup; one 8-byte little-endian record per completed
+  /// unit, carrying the unit's index (run index for "disturbance", the
+  /// shard-relative unit ordinal for "fault"). The supervisor reads the
+  /// file size for liveness/pace and the last record for its progress and
+  /// hang notes.
+  std::string heartbeat;
   bool no_fsync = false;
   std::string chaos_action;  // empty = none
   u64 chaos_after = 0;
@@ -133,10 +140,18 @@ struct ServeStats {
 };
 
 struct ServeResult {
-  runtime::CampaignResult result;  // valid iff !interrupted
+  /// Valid iff !interrupted and the spec's kind is "disturbance".
+  runtime::CampaignResult result;
+  /// Valid iff !interrupted and the spec's kind is "fault".
+  fault::CampaignResult fault_result;
   ServeStats stats;
   bool interrupted = false;  // supervisor drained; resume with --resume
 };
+
+/// The campaign's unit count for the spec's kind: spec.runs for
+/// "disturbance"; the sampled fault-list size (netlist construction only,
+/// nothing simulated) for "fault". What plan_shards partitions.
+u64 spec_unit_count(const ServeSpec& spec);
 
 /// Orchestrate the whole campaign: partition, spawn, supervise, heal,
 /// merge. Throws std::runtime_error / fault::CheckpointMismatch on

@@ -42,11 +42,21 @@ bool parse_spec(const std::string& json_text, ServeSpec& out, std::string* err) 
   for (const auto& [key, v] : root.obj) {
     u64 n = 0;
     if (key == "kind") {
-      if (!v.is_string() || v.str != "disturbance") {
-        if (err) *err = "spec: \"kind\" must be \"disturbance\"";
+      if (!v.is_string() || (v.str != "disturbance" && v.str != "fault")) {
+        if (err) *err = "spec: \"kind\" must be \"disturbance\" or \"fault\"";
         return false;
       }
       s.kind = v.str;
+    } else if (key == "module") {
+      if (!v.is_string() ||
+          (v.str != "fwd" && v.str != "hdcu" && v.str != "icu")) {
+        if (err) *err = "spec: \"module\" must be \"fwd\", \"hdcu\" or \"icu\"";
+        return false;
+      }
+      s.module = v.str;
+    } else if (key == "stride") {
+      if (!take_unsigned(v, "stride", 1, 1024, n, err)) return false;
+      s.stride = static_cast<unsigned>(n);
     } else if (key == "seed") {
       // A JSON number or a hex/decimal string ("0xd171" survives tooling
       // that would round a 64-bit number through a double).
@@ -139,7 +149,9 @@ std::string spec_to_json(const ServeSpec& spec) {
          ",\n";
   out += "  \"workers\": " + std::to_string(spec.workers) + ",\n";
   out += "  \"checkpoint_interval\": " + std::to_string(spec.checkpoint_interval) +
-         "\n";
+         ",\n";
+  out += "  \"module\": \"" + perf::json::escape(spec.module) + "\",\n";
+  out += "  \"stride\": " + std::to_string(spec.stride) + "\n";
   out += "}\n";
   return out;
 }

@@ -1,11 +1,18 @@
 #pragma once
 // JSON campaign spec for the stlserve orchestrator (docs/runtime.md
-// "stlserve"). A spec names WHAT to run — the disturbance-campaign
-// parameters stlrun's `campaign` command takes on its command line — plus
-// the default worker count; HOW it is supervised (respawns, watchdog
-// budgets, chaos injection) lives in serve::ServeConfig and never enters
-// the spec, so one spec file describes the same campaign on a laptop and
-// on a fan-out host.
+// "stlserve"). A spec names WHAT to run — the campaign parameters the
+// single-process tools take on their command lines — plus the default
+// worker count; HOW it is supervised (respawns, watchdog budgets, chaos
+// injection) lives in serve::ServeConfig and never enters the spec, so one
+// spec file describes the same campaign on a laptop and on a fan-out host.
+//
+// Two campaign kinds are served:
+//   "disturbance" — runtime::run_disturbance_campaign over [0, runs);
+//                   unit space = run indices.
+//   "fault"       — a stuck-at fault-grading campaign (fault::Campaign)
+//                   over one module of core 0; unit space = the sampled
+//                   fault list, partitioned by fault index exactly like
+//                   tests/test_serve.cpp's range-partition contract.
 //
 // Example (serve::example_spec_json()):
 //
@@ -35,7 +42,7 @@
 namespace detstl::serve {
 
 struct ServeSpec {
-  std::string kind = "disturbance";  // the only campaign kind served today
+  std::string kind = "disturbance";  // "disturbance" | "fault"
   u64 seed = 0xD15B0001;
   unsigned runs = 16;
   unsigned cores = 3;
@@ -48,6 +55,11 @@ struct ServeSpec {
   unsigned fallback_attempts = 2;     // uncacheable-rung attempts
   unsigned workers = 2;               // default worker-process count
   u32 checkpoint_interval = 16;       // runs between shard flushes
+  /// Fault kind only (ignored by "disturbance"): the graded module and the
+  /// deterministic sampling stride over the collapsed fault list
+  /// (fault::CampaignConfig::fault_stride; 1 = exhaustive).
+  std::string module = "fwd";  // fwd | hdcu | icu
+  unsigned stride = 8;
 };
 
 /// Parse a JSON spec. Returns false with a one-line reason in `err`

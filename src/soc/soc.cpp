@@ -133,4 +133,9 @@ void Soc::debug_write32(u32 addr, u32 value) {
   sram_.write32(addr, value);
 }
 
+void Soc::flip_ram_bit(u32 addr, unsigned bit) {
+  assert(mem::is_sram(addr));
+  sram_.write32(addr, sram_.read32(addr) ^ (u32{1} << (bit % 32)));
+}
+
 }  // namespace detstl::soc

@@ -107,6 +107,12 @@ class Soc {
   u32 debug_read32(unsigned core_id, u32 addr) const;  // adds TCM visibility
   void debug_write32(u32 addr, u32 value);     // SRAM only
 
+  /// SEU flip point for the soak model (runtime/soak.h): invert one bit of
+  /// an SRAM word in place, underneath any cached copies (an upset in the
+  /// RAM array itself — a core holding the line in D$ keeps its clean view,
+  /// exactly like real silicon).
+  void flip_ram_bit(u32 addr, unsigned bit);
+
  private:
   SocConfig cfg_;
   std::vector<cpu::Cpu> cores_;

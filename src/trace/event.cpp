@@ -27,6 +27,9 @@ const char* kind_name(EventKind k) {
     case EventKind::kCkptFlush: return "ckpt-flush";
     case EventKind::kCkptLoad: return "ckpt-load";
     case EventKind::kCkptReject: return "ckpt-reject";
+    case EventKind::kMissionSlice: return "mission-slice";
+    case EventKind::kMissionCheck: return "mission-check";
+    case EventKind::kSoakUpset: return "soak-upset";
   }
   return "?";
 }

@@ -61,6 +61,17 @@ enum class EventKind : u8 {
   kCkptFlush,   // unit = PayloadKind, a = records in shard, b = shard index
   kCkptLoad,    // unit = PayloadKind, a = records loaded, b = shard index
   kCkptReject,  // unit = PayloadKind, a = RejectReason, b = shard index
+  // In-field mission mode + SEU soak (src/runtime/mission.h, soak.h; cycle =
+  // SoC tick). Unit carries runtime-layer enums by value, same layering rule
+  // as the supervisor events above.
+  kMissionSlice,  // STL slice launched: core = tested core, addr = entry pc,
+                  // a = routine index, b = slice index
+  kMissionCheck,  // STL slice verdict: core = tested core, a = signature,
+                  // b = worst mission-port bus wait this slice,
+                  // flags bit0 = signature ok, bit1 = wait <= d_max
+  kSoakUpset,     // unit = runtime::SoakSite, addr = resolved target,
+                  // a = flipped bit, b = plan upset index,
+                  // flags bit0 = applied (0 = skipped: no live target)
 };
 
 const char* kind_name(EventKind k);

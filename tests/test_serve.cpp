@@ -110,13 +110,36 @@ TEST(ServeSpecJson, StrictParseRejectsBadInput) {
   EXPECT_FALSE(parse_spec("{\"run\": 8}", s, &err));
   EXPECT_NE(err.find("unknown key"), std::string::npos) << err;
   // Wrong kind, wrong types, out-of-range values, syntax errors.
-  EXPECT_FALSE(parse_spec("{\"kind\": \"fault\"}", s, &err));
+  EXPECT_FALSE(parse_spec("{\"kind\": \"soak\"}", s, &err));
+  EXPECT_FALSE(parse_spec("{\"module\": \"alu\"}", s, &err));
+  EXPECT_FALSE(parse_spec("{\"stride\": 0}", s, &err));
   EXPECT_FALSE(parse_spec("{\"runs\": \"many\"}", s, &err));
   EXPECT_FALSE(parse_spec("{\"cores\": 4}", s, &err));
   EXPECT_FALSE(parse_spec("{\"permanent\": 101}", s, &err));
   EXPECT_FALSE(parse_spec("{\"routines\": [1]}", s, &err));
   EXPECT_FALSE(parse_spec("{\"runs\": 8", s, &err));
   EXPECT_FALSE(parse_spec("[]", s, &err));
+}
+
+TEST(ServeSpecJson, FaultKindParsesAndRoundTrips) {
+  ServeSpec s;
+  std::string err;
+  ASSERT_TRUE(parse_spec(
+      "{\"kind\": \"fault\", \"module\": \"icu\", \"stride\": 12, "
+      "\"workers\": 3}",
+      s, &err))
+      << err;
+  EXPECT_EQ(s.kind, "fault");
+  EXPECT_EQ(s.module, "icu");
+  EXPECT_EQ(s.stride, 12u);
+  EXPECT_EQ(s.workers, 3u);
+
+  const std::string json = spec_to_json(s);
+  ServeSpec back;
+  ASSERT_TRUE(parse_spec(json, back, &err)) << err;
+  EXPECT_EQ(spec_to_json(back), json);
+  EXPECT_EQ(back.module, "icu");
+  EXPECT_EQ(back.stride, 12u);
 }
 
 // ---------------------------------------------------------------------------
@@ -284,6 +307,31 @@ TEST(ServeCampaign, MergedResultIdenticalAt1And2And4Workers) {
   }
 }
 
+TEST(ServeCampaign, HeartbeatRecordsCarryTheRunIndex) {
+  const auto dir = scratch_dir("heartbeat");
+  const ServeResult sr = run_campaign(small_spec(), fast_cfg(dir));
+  ASSERT_FALSE(sr.interrupted);
+  expect_identical(sr.result);
+
+  // Every shard heartbeat is a sequence of 8-byte little-endian records,
+  // one per completed run, carrying that run's index — what the supervisor
+  // surfaces in its progress and hang notes. 8 runs over 2 workers: shard
+  // 0 owns [0, 4), shard 1 owns [4, 8).
+  const auto plans = plan_shards(small_spec().runs, 2, dir.string());
+  ASSERT_EQ(plans.size(), 2u);
+  for (const ShardPlan& p : plans) {
+    const std::vector<u8> hb = read_all(p.heartbeat);
+    ASSERT_EQ(hb.size(), (p.end - p.begin) * 8) << p.heartbeat;
+    for (u64 i = 0; i < p.end - p.begin; ++i) {
+      u64 run = 0;
+      for (unsigned b = 0; b < 8; ++b)
+        run |= static_cast<u64>(hb[i * 8 + b]) << (8 * b);
+      // threads=1 workers complete runs in order.
+      EXPECT_EQ(run, p.begin + i) << p.heartbeat;
+    }
+  }
+}
+
 TEST(ServeCampaign, FreshRunRefusesOccupiedWorkDir) {
   const auto dir = scratch_dir("occupied");
   const ServeResult sr = run_campaign(small_spec(), fast_cfg(dir));
@@ -433,6 +481,30 @@ TEST(ServeFaultShards, RangePartitionMergesByteIdentical) {
 TEST(ServeFaultShards, EmptyShardRangeIsRejected) {
   EXPECT_THROW(run_fwd_shard({}, 5, 5), std::runtime_error);
   EXPECT_THROW(run_fwd_shard({}, 7, 3), std::runtime_error);
+}
+
+TEST(ServeFaultShards, SupervisedFaultCampaignMatchesTheStraightRun) {
+  // The full orchestration path for kind "fault": spec → shard planning
+  // over the sampled fault list → forked workers journaling fault outcomes
+  // → post-hoc merge — byte-identical to the single-process campaign the
+  // same recipe runs above.
+  ServeSpec spec;
+  spec.kind = "fault";
+  spec.module = "fwd";
+  spec.stride = 8;
+  spec.workers = 2;
+  spec.checkpoint_interval = 16;
+  const u64 units = spec_unit_count(spec);
+  const fault::CampaignResult base = run_fwd_shard({}, 0, 0);
+  ASSERT_EQ(units, base.simulated_faults);
+
+  const auto dir = scratch_dir("fault-serve");
+  const ServeResult sr = run_campaign(spec, fast_cfg(dir));
+  ASSERT_FALSE(sr.interrupted);
+  EXPECT_EQ(sr.stats.shards, 2u);
+  EXPECT_EQ(sr.stats.records_resumed, base.simulated_faults);
+  EXPECT_EQ(sr.stats.merge_reexecuted, 0u);
+  EXPECT_EQ(sr.fault_result.canonical_bytes(), base.canonical_bytes());
 }
 
 #endif  // !_WIN32

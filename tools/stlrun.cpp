@@ -28,6 +28,8 @@
 #include "perf/sampler.h"
 #include "perf/simstats.h"
 #include "runtime/campaign.h"
+#include "runtime/mission.h"
+#include "runtime/soak.h"
 
 namespace {
 
@@ -42,10 +44,13 @@ void usage(std::FILE* to) {
       "\n"
       "commands:\n"
       "  campaign     run a seeded disturbance campaign, print the recovery report\n"
+      "  soak         run a rate-based SEU soak campaign with differential isolation\n"
+      "  mission      interleave STL slices with mission workloads, check the\n"
+      "               signatures and the stlint interference bound\n"
       "  list-kinds   list disturbance kinds and registered routines\n"
       "\n"
       "campaign options:\n"
-      "  --seed N               master seed (default 0xd15b0001)\n"
+      "  --seed N               master seed; REQUIRED and non-zero (exit 2 otherwise)\n"
       "  --runs N               supervised runs, 1..100000 (default 16)\n"
       "  --threads N            worker threads, 0 = hardware threads (default 0)\n"
       "  --verify-threads LIST  run at each thread count in LIST (e.g. 1,2,8);\n"
@@ -62,6 +67,26 @@ void usage(std::FILE* to) {
       "  --metrics-out FILE     write an stlperf JSON report of the campaign\n"
       "                         (src/perf/perf_report.h; host timings on stderr\n"
       "                         so stdout stays byte-stable across thread counts)\n"
+      "\n"
+      "soak options (plus --seed/--runs/--threads/--verify-threads/--cores/\n"
+      "--routine/--margin/--digest-only and the checkpoint/resume group):\n"
+      "  --duration N           upset-arrival horizon in cycles, 0 = derived from\n"
+      "                         the schedule calibration (default 0)\n"
+      "  --rate-ram N           RAM upsets per million cycles (default 60)\n"
+      "  --rate-l1i N           L1 I-cache upsets per million cycles (default 30)\n"
+      "  --rate-l1d N           L1 D-cache upsets per million cycles (default 30)\n"
+      "  --rate-pipe N          pipeline-latch upsets per million cycles (default 15)\n"
+      "  --no-isolate           skip the differential bisection on diverged runs\n"
+      "\n"
+      "mission options:\n"
+      "  --seed N               master seed; REQUIRED and non-zero (exit 2 otherwise)\n"
+      "  --slices N             STL slices, 1..10000 (default 12)\n"
+      "  --gap N                mission-only cycles between slices (default 2000)\n"
+      "  --cores N              active cores, 1..3 (default 3)\n"
+      "  --routine NAME         registry routine, repeatable (default built-in mix)\n"
+      "  --margin PCT           per-slice watchdog margin (default 250)\n"
+      "  exit 1 when any slice diverges from the golden signature or any\n"
+      "  measured per-access bus wait exceeds the predicted d_max\n"
       "\n"
       "checkpoint/resume (exit 3 = interrupted but resumable):\n"
       "  --checkpoint-dir DIR     journal completed runs into DIR; SIGINT/SIGTERM\n"
@@ -89,10 +114,21 @@ int cmd_list_kinds() {
   return 0;
 }
 
+/// Seeded campaigns refuse to run without an explicit non-zero master seed:
+/// a zero/defaulted seed silently degrades every derived per-run seed into
+/// the same splitmix stream, and "which seed produced this divergence?" is
+/// the one question an in-field soak log must always answer.
+bool require_seed(const char* cmd, bool seed_set, u64 seed) {
+  if (seed_set && seed != 0) return true;
+  std::fprintf(stderr, "%s: %s requires an explicit non-zero --seed\n", kTool, cmd);
+  return false;
+}
+
 int cmd_campaign(int argc, char** argv) {
   CampaignSpec spec;
   std::vector<unsigned> verify_threads;
   bool digest_only = false;
+  bool seed_set = false;
   u64 interrupt_after = 0;
   unsigned timeout_s = 0;
   std::string metrics_out;
@@ -108,6 +144,7 @@ int cmd_campaign(int argc, char** argv) {
     };
     if (a == "--seed") {
       spec.seed = cli::require_u64(kTool, "--seed", need(), 0, ~0ull);
+      seed_set = true;
     } else if (a == "--runs") {
       spec.runs = cli::require_unsigned(kTool, "--runs", need(), 1, 100'000);
     } else if (a == "--threads") {
@@ -164,6 +201,7 @@ int cmd_campaign(int argc, char** argv) {
     }
   }
 
+  if (!require_seed("campaign", seed_set, spec.seed)) return cli::kExitUsage;
   if (spec.checkpoint.resume && !spec.checkpoint.enabled()) {
     std::fprintf(stderr, "%s: --resume requires --checkpoint-dir\n", kTool);
     return cli::kExitUsage;
@@ -317,6 +355,217 @@ int cmd_campaign(int argc, char** argv) {
   return 0;
 }
 
+int cmd_soak(int argc, char** argv) {
+  SoakCampaignSpec spec;
+  std::vector<unsigned> verify_threads;
+  bool digest_only = false;
+  bool seed_set = false;
+  u64 interrupt_after = 0;
+  unsigned timeout_s = 0;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s requires a value\n", kTool, a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--seed") {
+      spec.seed = cli::require_u64(kTool, "--seed", need(), 0, ~0ull);
+      seed_set = true;
+    } else if (a == "--runs") {
+      spec.runs = cli::require_unsigned(kTool, "--runs", need(), 1, 100'000);
+    } else if (a == "--threads") {
+      spec.threads = cli::require_unsigned(kTool, "--threads", need(), 0, 256);
+    } else if (a == "--verify-threads") {
+      verify_threads =
+          cli::require_unsigned_list(kTool, "--verify-threads", need(), 1, 256);
+    } else if (a == "--cores") {
+      spec.cores = cli::require_unsigned(kTool, "--cores", need(), 1, 3);
+    } else if (a == "--routine") {
+      spec.routines.push_back(need());
+    } else if (a == "--duration") {
+      spec.soak.duration = cli::require_u64(kTool, "--duration", need(), 0, 1'000'000'000);
+    } else if (a == "--rate-ram") {
+      spec.soak.rates.ram = cli::require_unsigned(kTool, "--rate-ram", need(), 0, 1'000'000);
+    } else if (a == "--rate-l1i") {
+      spec.soak.rates.l1i = cli::require_unsigned(kTool, "--rate-l1i", need(), 0, 1'000'000);
+    } else if (a == "--rate-l1d") {
+      spec.soak.rates.l1d = cli::require_unsigned(kTool, "--rate-l1d", need(), 0, 1'000'000);
+    } else if (a == "--rate-pipe") {
+      spec.soak.rates.pipeline =
+          cli::require_unsigned(kTool, "--rate-pipe", need(), 0, 1'000'000);
+    } else if (a == "--no-isolate") {
+      spec.isolate = false;
+    } else if (a == "--margin") {
+      spec.supervisor.margin_percent =
+          cli::require_unsigned(kTool, "--margin", need(), 0, 10'000);
+    } else if (a == "--digest-only") {
+      digest_only = true;
+    } else if (a == "--checkpoint-dir") {
+      spec.checkpoint.dir = need();
+    } else if (a == "--checkpoint-interval") {
+      spec.checkpoint.interval = static_cast<u32>(
+          cli::require_u64(kTool, "--checkpoint-interval", need(), 1, 1'000'000));
+    } else if (a == "--resume") {
+      spec.checkpoint.resume = true;
+    } else if (a == "--no-fsync") {
+      spec.checkpoint.fsync = fault::FsyncPolicy::kNone;
+    } else if (a == "--interrupt-after") {
+      interrupt_after = cli::require_u64(kTool, "--interrupt-after", need(), 1, ~0ull);
+    } else if (a == "--timeout") {
+      timeout_s = cli::require_unsigned(kTool, "--timeout", need(), 1, 86'400);
+    } else if (a == "--help" || a == "-h") {
+      usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", kTool, a.c_str());
+      usage(stderr);
+      return cli::kExitUsage;
+    }
+  }
+
+  if (!require_seed("soak", seed_set, spec.seed)) return cli::kExitUsage;
+  if (spec.checkpoint.resume && !spec.checkpoint.enabled()) {
+    std::fprintf(stderr, "%s: --resume requires --checkpoint-dir\n", kTool);
+    return cli::kExitUsage;
+  }
+  if (spec.checkpoint.enabled() && !verify_threads.empty()) {
+    std::fprintf(stderr,
+                 "%s: --checkpoint-dir cannot be combined with --verify-threads\n",
+                 kTool);
+    return cli::kExitUsage;
+  }
+
+  if (spec.checkpoint.enabled() || interrupt_after != 0 || timeout_s != 0) {
+    spec.interrupt = &fault::global_interrupt();
+    spec.interrupt->clear();
+    if (interrupt_after != 0) spec.interrupt->arm_after(interrupt_after);
+    fault::install_drain_handlers();
+    if (timeout_s != 0) fault::arm_wallclock_timeout(timeout_s);
+  }
+
+  if (verify_threads.empty()) {
+    const SoakCampaignResult res = run_soak_campaign(spec);
+    if (res.ckpt.enabled)
+      std::fprintf(stderr,
+                   "%s: checkpoint: %u shard(s) loaded, %llu run(s) resumed, "
+                   "%u corrupt shard(s) quarantined, %u shard(s) flushed\n",
+                   kTool, res.ckpt.shards_loaded,
+                   static_cast<unsigned long long>(res.ckpt.records_resumed),
+                   res.ckpt.shards_corrupt, res.ckpt.shards_flushed);
+    if (res.ckpt.interrupted) {
+      std::size_t completed = 0;
+      for (const SoakRunRecord& r : res.records) completed += r.seed != 0 ? 1 : 0;
+      if (spec.checkpoint.enabled())
+        std::fprintf(stderr,
+                     "%s: interrupted after %zu/%u run(s); resume with "
+                     "--checkpoint-dir %s --resume\n",
+                     kTool, completed, res.runs, spec.checkpoint.dir.c_str());
+      else
+        std::fprintf(stderr,
+                     "%s: interrupted after %zu/%u run(s); add "
+                     "--checkpoint-dir to make such runs resumable\n",
+                     kTool, completed, res.runs);
+      return cli::kExitInterrupted;
+    }
+    if (digest_only)
+      std::printf("outcome digest: %s\n", TextTable::fmt_hex(res.digest()).c_str());
+    else
+      std::fputs(render_soak_report(res).c_str(), stdout);
+    std::fprintf(stderr, "%s: %u soak run(s) on %u thread(s) in %.2fs\n", kTool,
+                 res.runs, res.threads_used, res.wall_seconds);
+    return cli::kExitSuccess;
+  }
+
+  std::vector<u8> reference;
+  std::string reference_report;
+  for (std::size_t t = 0; t < verify_threads.size(); ++t) {
+    SoakCampaignSpec s = spec;
+    s.threads = verify_threads[t];
+    const SoakCampaignResult res = run_soak_campaign(s);
+    std::fprintf(stderr, "%s: threads=%u digest=%s (%.2fs)\n", kTool,
+                 res.threads_used, TextTable::fmt_hex(res.digest()).c_str(),
+                 res.wall_seconds);
+    if (t == 0) {
+      reference = res.outcome_vector();
+      reference_report = render_soak_report(res);
+      continue;
+    }
+    if (res.outcome_vector() != reference ||
+        render_soak_report(res) != reference_report) {
+      std::fprintf(stderr,
+                   "%s: DETERMINISM VIOLATION: threads=%u diverges from threads=%u\n",
+                   kTool, verify_threads[t], verify_threads[0]);
+      return 1;
+    }
+  }
+  if (digest_only) {
+    u64 h = 0xcbf29ce484222325ull;
+    for (const u8 b : reference) {
+      h ^= b;
+      h *= 0x100000001b3ull;
+    }
+    std::printf("outcome digest: %s\n", TextTable::fmt_hex(h).c_str());
+  } else {
+    std::fputs(reference_report.c_str(), stdout);
+  }
+  std::string counts;
+  for (std::size_t t = 0; t < verify_threads.size(); ++t)
+    counts += (t == 0 ? "" : ",") + std::to_string(verify_threads[t]);
+  std::printf("determinism: outcome vector byte-identical across threads {%s}\n",
+              counts.c_str());
+  return 0;
+}
+
+int cmd_mission(int argc, char** argv) {
+  MissionSpec spec;
+  bool seed_set = false;
+
+  for (int i = 0; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s requires a value\n", kTool, a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--seed") {
+      spec.seed = cli::require_u64(kTool, "--seed", need(), 0, ~0ull);
+      seed_set = true;
+    } else if (a == "--slices") {
+      spec.slices = cli::require_unsigned(kTool, "--slices", need(), 1, 10'000);
+    } else if (a == "--gap") {
+      spec.gap_cycles = cli::require_u64(kTool, "--gap", need(), 0, 10'000'000);
+    } else if (a == "--cores") {
+      spec.cores = cli::require_unsigned(kTool, "--cores", need(), 1, 3);
+    } else if (a == "--routine") {
+      spec.routines.push_back(need());
+    } else if (a == "--margin") {
+      spec.supervisor.margin_percent =
+          cli::require_unsigned(kTool, "--margin", need(), 0, 10'000);
+    } else if (a == "--help" || a == "-h") {
+      usage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "%s: unknown option '%s'\n", kTool, a.c_str());
+      usage(stderr);
+      return cli::kExitUsage;
+    }
+  }
+
+  if (!require_seed("mission", seed_set, spec.seed)) return cli::kExitUsage;
+  const MissionResult res = run_mission(spec);
+  std::fputs(render_mission_report(res).c_str(), stdout);
+  // Mission mode is a pass/fail check of the paper's two in-field claims:
+  // any divergence or bound violation fails the invocation.
+  return res.divergences() == 0 && res.bound_violations() == 0 ? cli::kExitSuccess
+                                                               : cli::kExitFailure;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -327,6 +576,8 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "campaign") return cmd_campaign(argc - 2, argv + 2);
+    if (cmd == "soak") return cmd_soak(argc - 2, argv + 2);
+    if (cmd == "mission") return cmd_mission(argc - 2, argv + 2);
     if (cmd == "list-kinds") return cmd_list_kinds();
     if (cmd == "--version") {
       cli::print_version(kTool);

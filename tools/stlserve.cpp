@@ -21,6 +21,8 @@
 
 #include "cli_util.h"
 #include "common/table.h"
+#include "fault/report.h"
+#include "netlist/modules.h"
 #include "serve/serve.h"
 
 namespace {
@@ -109,6 +111,22 @@ serve::ChaosRule parse_chaos(const std::string& text) {
     std::exit(cli::kExitUsage);
   }
   return rule;
+}
+
+/// Fault-kind rendering: the standard fault-campaign report, classified
+/// against the graded module's netlist (same kind the campaign used).
+std::string render_fault_report(const serve::ServeSpec& spec,
+                                const fault::CampaignResult& r) {
+  const auto render = [&](const netlist::Netlist& nl) {
+    return fault::render_report(
+        fault::make_report(r, nl, std::max(1u, spec.stride)),
+        "stlserve fault campaign (" + spec.module + ")");
+  };
+  if (spec.module == "hdcu")
+    return render(netlist::HdcuNetlist(isa::CoreKind::kA).nl());
+  if (spec.module == "icu")
+    return render(netlist::IcuNetlist(isa::CoreKind::kA).nl());
+  return render(netlist::FwdNetlist(isa::CoreKind::kA).nl());
 }
 
 serve::ServeSpec load_spec(const std::string& path) {
@@ -209,6 +227,17 @@ int cmd_run(int argc, char** argv, const char* argv0) {
     std::fprintf(stderr, "%s: interrupted; resume with: stlserve run --dir %s "
                  "--resume\n", kTool, cfg.work_dir.c_str());
     return cli::kExitInterrupted;
+  }
+  if (spec.kind == "fault") {
+    if (digest_only) {
+      const std::vector<u8> bytes = sr.fault_result.canonical_bytes();
+      std::printf("outcome digest: %s\n",
+                  TextTable::fmt_hex(fault::fnv1a(bytes.data(), bytes.size()))
+                      .c_str());
+    } else {
+      std::fputs(render_fault_report(spec, sr.fault_result).c_str(), stdout);
+    }
+    return cli::kExitSuccess;
   }
   if (digest_only)
     std::printf("outcome digest: %s\n",
